@@ -1,0 +1,50 @@
+"""Ablation benches for the design choices DESIGN.md §6 calls out."""
+
+from __future__ import annotations
+
+
+def test_ablation_conventions(run_quick):
+    """The self-consistent counting must beat the printed glyphs."""
+    table = run_quick("ablation-conventions")
+    rows = {row[0]: row[1:] for row in table.rows}
+    _sim, _cons, _printed, err_cons, err_printed = rows["f_cluster"]
+    assert err_cons < err_printed
+    _sim, _cons, _printed, err_cons, err_printed = rows["f_route"]
+    assert err_cons < err_printed
+
+
+def test_ablation_route_payload(run_quick):
+    """Full-table ROUTE dominates the total, increasingly with r."""
+    table = run_quick("ablation-route-payload")
+    shares = [row[-1] for row in table.rows]
+    assert shares == sorted(shares)
+    # At the largest range ROUTE is the single largest component
+    # (Section 6: "ROUTE message overhead constitutes the main control
+    # overhead").
+    last = table.rows[-1]
+    o_hello, o_cluster, o_route_full = last[2], last[3], last[5]
+    assert o_route_full > o_hello
+    assert o_route_full > o_cluster
+
+
+def test_ablation_boundary(run_quick):
+    """The torus (paper) fit is at least as good as reflecting walls."""
+    table = run_quick("ablation-boundary")
+    errors = {row[0]: row[3] for row in table.rows}
+    assert errors["torus"] <= errors["reflect"] * 1.2
+
+
+def test_ablation_beacon(run_quick):
+    """Periodic beacons trade traffic for staleness vs the lower bound."""
+    table = run_quick("ablation-beacon")
+    event_row = table.rows[0]
+    assert event_row[0] == "event"
+    assert event_row[3] == 0  # event mode is exact
+    periodic = [row for row in table.rows if row[0] == "periodic"]
+    intervals = [row[1] for row in periodic]
+    staleness = [row[3] for row in periodic]
+    rates = [row[2] for row in periodic]
+    assert intervals == sorted(intervals)
+    # Longer intervals: fewer beacons, more staleness.
+    assert rates == sorted(rates, reverse=True)
+    assert staleness == sorted(staleness)

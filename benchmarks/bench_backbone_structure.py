@@ -1,0 +1,20 @@
+"""Backbone structure — the flooding-reduction substrate, quantified."""
+
+from __future__ import annotations
+
+
+def test_backbone_structure(run_quick):
+    table = run_quick("backbone")
+    backbone_ratios = [row[3] for row in table.rows]
+    reachabilities = [row[4] for row in table.rows]
+    separations = [row[6] for row in table.rows]
+
+    # Restricting forwarding to the backbone loses (almost) nothing.
+    assert all(value > 0.9 for value in reachabilities)
+    # ...while excluding a meaningful interior population at the sparse
+    # end (the flooding saving exists).
+    assert backbone_ratios[0] < 0.95
+    # P1 guarantee: heads are always out of each other's range.
+    assert all(value > 1.0 for value in separations)
+    # One-hop diameters never exceed 2.
+    assert all(row[5] <= 2.0 for row in table.rows)

@@ -1,0 +1,15 @@
+"""Claims 1 and 2 — expected degree and link change rates vs simulation."""
+
+from __future__ import annotations
+
+
+def test_claim1_expected_degree(run_quick):
+    table = run_quick("claim1")
+    for _r, _analysis, _measured, rel_err in table.rows:
+        assert rel_err < 0.12
+
+
+def test_claim2_link_change_rates(run_quick):
+    table = run_quick("claim2")
+    for _r, model, _analysis, _measured, rel_err in table.rows:
+        assert rel_err < 0.25, model

@@ -1,0 +1,23 @@
+"""Cluster stability — head tenure and churn across one-hop algorithms."""
+
+from __future__ import annotations
+
+
+def test_cluster_stability(run_quick):
+    table = run_quick("stability")
+    rows = {row[0]: row[1:] for row in table.rows}
+    assert set(rows) == {
+        "lid",
+        "hcc (static prio)",
+        "hcc (dynamic prio)",
+        "dmac",
+    }
+    for name, (p, head_tenure, affil_tenure, head_rate, affil_rate) in rows.items():
+        assert 0.0 < p < 1.0, name
+        assert head_tenure > 0.0, name
+        # Affiliation changes include every head change's fallout.
+        assert affil_rate >= head_rate, name
+    # Heads outlive memberships: a head only falls to a merge, while a
+    # member re-affiliates on any head-link break.
+    for name, values in rows.items():
+        assert values[1] >= values[2], name

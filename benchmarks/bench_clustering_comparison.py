@@ -1,0 +1,28 @@
+"""Clustering algorithm comparison — head ratios and maintenance traffic."""
+
+from __future__ import annotations
+
+
+def test_clustering_comparison(run_quick):
+    table = run_quick("clustering")
+    rows = {row[0]: row[1:] for row in table.rows}
+    assert set(rows) == {
+        "lid",
+        "hcc",
+        "dmac",
+        "maxmin(d=2)",
+        "lca",
+        "mobdhop(d=2)",
+    }
+    # One-hop algorithms honour P1; mass balance P * mean_size ~ 1 for
+    # every algorithm.
+    for name in ("lid", "hcc", "dmac"):
+        p, clusters, mean_size, p1_ok, f_cluster = rows[name]
+        assert p1_ok
+        assert p * mean_size == __import__("pytest").approx(1.0, rel=0.05)
+        assert f_cluster != "-" and f_cluster > 0.0
+    # d-hop schemes produce fewer, larger clusters than LID.
+    assert rows["maxmin(d=2)"][1] < rows["lid"][1]
+    assert rows["mobdhop(d=2)"][1] < rows["lid"][1]
+    # HCC's degree-greedy heads cover at least as well as LID (<= heads).
+    assert rows["hcc"][1] <= rows["lid"][1] * 1.2

@@ -1,0 +1,17 @@
+"""d-hop trade-off — fewer clusters vs costlier membership maintenance."""
+
+from __future__ import annotations
+
+
+def test_dhop_tradeoff(run_quick):
+    table = run_quick("dhop")
+    ds = [row[0] for row in table.rows]
+    clusters = [row[1] for row in table.rows]
+    sizes = [row[3] for row in table.rows]
+
+    assert ds == [1, 2, 3]
+    # Growing d merges clusters and grows them.
+    assert clusters == sorted(clusters, reverse=True)
+    assert sizes == sorted(sizes)
+    # Maintenance traffic is positive at every d.
+    assert all(row[4] > 0.0 for row in table.rows)

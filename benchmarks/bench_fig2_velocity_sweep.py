@@ -1,0 +1,25 @@
+"""Figure 2 — control message frequencies vs node velocity.
+
+All three frequencies are linear in ``v`` in the analysis; the bench
+asserts both simulation and analysis curves grow monotonically with
+``v`` and that the measured/predicted ratio stays roughly constant
+(linearity of the measured curves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import is_monotonic
+
+
+def test_fig2_velocity_sweep(run_quick):
+    table = run_quick("fig2")
+    for column in (2, 3, 4, 5, 6, 7):  # every sim/ana series
+        series = [row[column] for row in table.rows]
+        assert is_monotonic(series, tolerance=0.25), f"column {column}"
+    # Linearity: measured f_hello / v roughly constant.
+    v_values = np.array([row[0] for row in table.rows])
+    hello_sim = np.array([row[2] for row in table.rows])
+    ratios = hello_sim / v_values
+    assert ratios.std() / ratios.mean() < 0.25

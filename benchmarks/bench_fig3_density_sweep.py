@@ -1,0 +1,25 @@
+"""Figure 3 — control message frequencies vs network density.
+
+At fixed absolute ``r`` and ``v``, raising the density raises the
+degree and therefore ``f_hello`` (Θ(rho)) and ``f_route`` (≈Θ(sqrt rho)
+through ``P``), which the bench asserts for both simulation and
+analysis curves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import is_monotonic
+
+
+def test_fig3_density_sweep(run_quick):
+    table = run_quick("fig3")
+    rho = [row[0] for row in table.rows]
+    assert rho == sorted(rho)
+    hello_sim = [row[2] for row in table.rows]
+    hello_ana = [row[3] for row in table.rows]
+    route_sim = [row[6] for row in table.rows]
+    assert is_monotonic(hello_sim, tolerance=0.15)
+    assert is_monotonic(hello_ana, tolerance=0.02)
+    assert is_monotonic(route_sim, tolerance=0.3)
+    # Density doubling roughly doubles f_hello (Θ(rho)).
+    assert hello_ana[-1] / hello_ana[0] > 0.5 * (rho[-1] / rho[0])

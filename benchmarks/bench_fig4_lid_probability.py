@@ -1,0 +1,27 @@
+"""Figure 4 — the LID head-probability fixpoint and its approximation.
+
+Figure 4(a): ``1-(1-P)^{d+1}`` approaches 1 as the closed neighborhood
+grows; Figure 4(b): the ``1/sqrt(d+1)`` approximation converges to the
+exact Eqn (16) root.
+"""
+
+from __future__ import annotations
+
+
+def test_fig4a_member_mass(run_quick):
+    table = run_quick("fig4a")
+    masses = [row[2] for row in table.rows]
+    assert masses == sorted(masses)
+    assert masses[0] < 0.95
+    assert masses[-1] > 0.999
+
+
+def test_fig4b_approximation(run_quick):
+    table = run_quick("fig4b")
+    errors = [row[3] for row in table.rows]
+    # Monotone convergence of the approximation (paper Fig. 4(b)).
+    assert errors == sorted(errors, reverse=True)
+    assert errors[-1] < 0.005
+    exact = [row[1] for row in table.rows]
+    approx = [row[2] for row in table.rows]
+    assert all(a >= e for a, e in zip(approx, exact))

@@ -1,0 +1,34 @@
+"""Figure 5 — number of LID clusters vs network size and range.
+
+Asserts the figure's shape claims: the cluster count grows with ``N``
+(5a) and falls with ``r`` (5b), for both the simulated formation and
+the Eqn (16)/(17) analysis; and that in the small-degree regime the
+two are close, while for dense networks the analysis overestimates —
+the "slight difference ... cross each other" discrepancy the paper
+itself reports.
+"""
+
+from __future__ import annotations
+
+
+def test_fig5a_clusters_vs_n(run_quick):
+    table = run_quick("fig5a")
+    simulated = [row[2] for row in table.rows]
+    analytical = [row[3] for row in table.rows]
+    assert simulated == sorted(simulated)
+    assert analytical == sorted(analytical)
+    # Same order of magnitude throughout the sweep.
+    for sim_value, ana_value in zip(simulated, analytical):
+        assert 0.25 * ana_value <= sim_value <= 4.0 * ana_value
+
+
+def test_fig5b_clusters_vs_r(run_quick):
+    table = run_quick("fig5b")
+    simulated = [row[2] for row in table.rows]
+    analytical = [row[3] for row in table.rows]
+    assert simulated == sorted(simulated, reverse=True)
+    assert analytical == sorted(analytical, reverse=True)
+    # Sparse end: close agreement (the paper's accurate regime).
+    assert abs(simulated[0] - analytical[0]) / analytical[0] < 0.35
+    # Dense end: the analysis overestimates (documented discrepancy).
+    assert analytical[-1] >= simulated[-1]

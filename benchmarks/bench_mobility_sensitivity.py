@@ -1,0 +1,27 @@
+"""Mobility-pattern sensitivity — the paper's §7 future-work study.
+
+Asserts the experiment's headline findings: isotropic uncorrelated
+models track the BCV analysis; group mobility collapses the CLUSTER
+maintenance rate the analysis predicts.
+"""
+
+from __future__ import annotations
+
+
+def test_mobility_sensitivity(run_quick):
+    table = run_quick("mobility")
+    rows = {row[0]: row[1:] for row in table.rows}
+
+    # Isotropic uncorrelated models track the BCV analysis closely.
+    for name in ("cv", "epoch-rwp", "walk", "direction", "gauss-markov"):
+        ratio = rows[name][1]
+        assert 0.8 < ratio < 1.5, name
+
+    # Group mobility collapses the CLUSTER rate relative to CV: whole
+    # groups move together, so members rarely lose their heads.
+    assert rows["rpgm"][2] < 0.6 * rows["cv"][2]
+    # ...and produces far fewer cluster-heads than the isotropic models.
+    assert rows["rpgm"][4] < 0.7 * rows["cv"][4]
+
+    # Street-bound (collinear) motion generates fewer link events.
+    assert rows["manhattan"][0] < rows["cv"][0]

@@ -1,0 +1,14 @@
+"""Section 6 — the Θ-notation table, measured from the closed forms."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_sec6_exponents(run_quick):
+    table = run_quick("sec6")
+    for quantity, parameter, claimed, measured, r_squared in table.rows:
+        assert measured == pytest.approx(claimed, abs=0.15), (
+            quantity,
+            parameter,
+        )

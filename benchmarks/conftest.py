@@ -1,0 +1,51 @@
+"""Benchmark suite configuration.
+
+Every bench regenerates one paper artifact (a figure's data series or a
+prose claim's table) at the ``quick`` scale, times it with
+pytest-benchmark, saves the rendered table under
+``benchmarks/results/``, and asserts the artifact's headline shape
+claim.  Full-scale (`N = 400`) tables are produced by
+``repro-manet run all`` and archived in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Persist a rendered experiment table and echo it to stdout."""
+
+    def _save(name: str, table) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save
+
+
+@pytest.fixture
+def run_quick(benchmark, save_table):
+    """Benchmark one registered experiment at quick scale and save it."""
+
+    def _run(experiment_id: str):
+        from repro.experiments import run_experiment
+
+        table = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"quick": True},
+            iterations=1,
+            rounds=1,
+        )
+        save_table(experiment_id, table)
+        return table
+
+    return _run

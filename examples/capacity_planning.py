@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Capacity planning with the overhead model.
+
+The paper's stated purpose: "provide valuable insights into the amount
+of overhead that clustering algorithms may incur in different network
+environments ... to facilitate the design of efficient clustering
+algorithms."  This example uses the closed-form model as a *design
+tool*: given a deployment (a sensor field with a fixed per-node
+bandwidth budget for control traffic), find the transmission ranges
+that keep the clustered stack's control overhead within budget, and
+show how the feasible window shifts with node speed.
+
+Everything here is pure analysis — no simulation — so it runs in
+milliseconds, which is exactly why a closed form beats a simulator for
+design-space exploration.
+
+Run::
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MessageSizes,
+    NetworkParameters,
+    lid_head_probability,
+    overhead_breakdown,
+    total_overhead,
+)
+
+
+#: Deployment: 500 nodes over a 1 km x 1 km field.
+N_NODES = 500
+SIDE_M = 1000.0
+#: Control-plane budget per node, bits/second.
+BUDGET_BPS = 2000.0
+#: Realistic packet sizes (bits) for a low-power radio.
+MESSAGES = MessageSizes(p_hello=320.0, p_cluster=256.0, p_route=192.0)
+
+
+def overhead_at(tx_range: float, speed: float) -> tuple[float, float]:
+    """Total per-node overhead (bits/s) and head ratio at one point."""
+    params = NetworkParameters.from_side(
+        n_nodes=N_NODES,
+        side=SIDE_M,
+        tx_range=tx_range,
+        velocity=speed,
+        messages=MESSAGES,
+    )
+    p_head = float(
+        lid_head_probability(params.n_nodes, params.density, params.tx_range)
+    )
+    return (
+        total_overhead(params, p_head, full_table=True),
+        p_head,
+    )
+
+
+def feasible_window(speed: float, ranges: np.ndarray) -> tuple[float, float] | None:
+    """The contiguous range window whose overhead fits the budget."""
+    feasible = [r for r in ranges if overhead_at(float(r), speed)[0] <= BUDGET_BPS]
+    if not feasible:
+        return None
+    return (min(feasible), max(feasible))
+
+
+def main() -> None:
+    ranges = np.linspace(40.0, 400.0, 37)
+
+    print(f"deployment: {N_NODES} nodes on {SIDE_M:.0f} m x {SIDE_M:.0f} m, "
+          f"budget {BUDGET_BPS:.0f} bits/s/node\n")
+
+    # ------------------------------------------------------------------
+    # 1. Overhead landscape at walking speed.
+    # ------------------------------------------------------------------
+    speed = 1.5  # m/s
+    print(f"speed {speed} m/s — overhead vs transmission range:")
+    print(f"{'r (m)':>7s} {'P':>7s} {'clusters':>9s} {'O_total':>10s} {'fits?':>6s}")
+    for tx_range in ranges[::6]:
+        overhead, p_head = overhead_at(float(tx_range), speed)
+        marker = "yes" if overhead <= BUDGET_BPS else "no"
+        print(
+            f"{tx_range:7.0f} {p_head:7.3f} {p_head * N_NODES:9.1f} "
+            f"{overhead:10.1f} {marker:>6s}"
+        )
+
+    # ------------------------------------------------------------------
+    # 2. The feasible window shrinks with mobility (overhead is Θ(v)).
+    # ------------------------------------------------------------------
+    print("\nfeasible transmission-range window vs node speed:")
+    print(f"{'v (m/s)':>8s} {'window (m)':>20s}")
+    for speed in (0.5, 1.0, 2.0, 4.0, 8.0, 16.0):
+        window = feasible_window(speed, ranges)
+        if window is None:
+            print(f"{speed:8.1f} {'none — over budget':>20s}")
+        else:
+            print(f"{speed:8.1f} {f'{window[0]:.0f} .. {window[1]:.0f}':>20s}")
+
+    # ------------------------------------------------------------------
+    # 3. Where does the budget go?  (Section 6: ROUTE dominates.)
+    # ------------------------------------------------------------------
+    tx_range, speed = 150.0, 1.5
+    params = NetworkParameters.from_side(
+        n_nodes=N_NODES, side=SIDE_M, tx_range=tx_range, velocity=speed,
+        messages=MESSAGES,
+    )
+    p_head = float(
+        lid_head_probability(params.n_nodes, params.density, params.tx_range)
+    )
+    breakdown = overhead_breakdown(params, p_head, full_table=True)
+    print(f"\nbudget split at r={tx_range:.0f} m, v={speed} m/s:")
+    for name, value in (
+        ("HELLO", breakdown.hello_overhead),
+        ("CLUSTER", breakdown.cluster_overhead),
+        ("ROUTE", breakdown.route_overhead),
+    ):
+        share = value / breakdown.total
+        bar = "#" * int(round(40 * share))
+        print(f"  {name:8s} {value:8.1f} bits/s  {bar}")
+
+
+if __name__ == "__main__":
+    main()

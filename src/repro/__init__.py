@@ -1,0 +1,60 @@
+"""repro — clustering/routing overhead analysis for clustered MANETs.
+
+A production-grade reproduction of *Analysis of Clustering and Routing
+Overhead for Clustered Mobile Ad Hoc Networks* (Xue, Er & Seah,
+ICDCS 2006): the paper's closed-form overhead model plus every substrate
+it is validated against — mobility models, a time-stepped MANET
+simulator, one-hop clustering algorithms with reactive maintenance, and
+clustered hybrid / flat baseline routing protocols.
+
+Quick start::
+
+    from repro import NetworkParameters, lid_head_probability, overhead_breakdown
+
+    params = NetworkParameters.from_fractions(
+        n_nodes=400, range_fraction=0.15, velocity_fraction=0.05)
+    p_head = lid_head_probability(
+        params.n_nodes, params.density, params.tx_range)
+    print(overhead_breakdown(params, p_head).frequencies)
+"""
+
+from .core import (
+    MessageSizes,
+    NetworkParameters,
+    OverheadBreakdown,
+    cluster_frequency,
+    cluster_overhead,
+    expected_cluster_count,
+    expected_cluster_size,
+    expected_degree,
+    expected_head_degree,
+    hello_frequency,
+    hello_overhead,
+    lid_head_probability,
+    overhead_breakdown,
+    route_frequency,
+    route_overhead,
+    total_overhead,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MessageSizes",
+    "NetworkParameters",
+    "OverheadBreakdown",
+    "cluster_frequency",
+    "cluster_overhead",
+    "expected_cluster_count",
+    "expected_cluster_size",
+    "expected_degree",
+    "expected_head_degree",
+    "hello_frequency",
+    "hello_overhead",
+    "lid_head_probability",
+    "overhead_breakdown",
+    "route_frequency",
+    "route_overhead",
+    "total_overhead",
+    "__version__",
+]

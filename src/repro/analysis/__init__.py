@@ -1,0 +1,29 @@
+"""Experiment harness: sweeps, validation verdicts, reporting."""
+
+from .series import (
+    SeriesSummary,
+    crossing_indices,
+    is_monotonic,
+    relative_error,
+    summarize,
+)
+from .sweep import SweepPoint, SweepResult, measure_point, run_sweep
+from .validation import CurveVerdict, SweepVerdict, validate_sweep
+from .report import Table, format_table
+
+__all__ = [
+    "SeriesSummary",
+    "crossing_indices",
+    "is_monotonic",
+    "relative_error",
+    "summarize",
+    "SweepPoint",
+    "SweepResult",
+    "measure_point",
+    "run_sweep",
+    "CurveVerdict",
+    "SweepVerdict",
+    "validate_sweep",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment output.
+
+The benches regenerate the paper's figures as *series tables* (the
+numbers behind each curve).  This module renders them in aligned ASCII,
+which is what ``bench_output.txt`` and EXPERIMENTS.md embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render rows under headers with right-aligned columns."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in cells)) if cells else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(header.rjust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class Table:
+    """A titled result table with optional footnotes."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        """Append one row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        """Render title, table body and notes as one text block."""
+        parts = [self.title, "=" * len(self.title)]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """Serialize headers and rows as RFC-4180 CSV (notes excluded)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def save_csv(self, path) -> None:
+        """Write :meth:`to_csv` output to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_csv())

@@ -1,0 +1,99 @@
+"""Small numeric utilities for experiment series.
+
+Multi-seed aggregation, relative error, and the shape checks the
+reproduction asserts (the paper's figures are judged on *shape*:
+monotonic trends, who-beats-whom, and crossing points — not absolute
+values, since our substrate is a reimplementation, not the authors'
+GloMoSim testbed).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SeriesSummary",
+    "summarize",
+    "relative_error",
+    "is_monotonic",
+    "crossing_indices",
+]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean and spread of repeated measurements."""
+
+    mean: float
+    std: float
+    count: int
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count <= 1:
+            return float("nan")
+        return self.std / math.sqrt(self.count)
+
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        if self.count <= 1:
+            return (self.mean, self.mean)
+        half = 1.96 * self.stderr
+        return (self.mean - half, self.mean + half)
+
+
+def summarize(samples) -> SeriesSummary:
+    """Summarize repeated measurements of one quantity."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample set")
+    return SeriesSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        count=int(arr.size),
+    )
+
+
+def relative_error(measured: float, predicted: float) -> float:
+    """``|measured - predicted| / |predicted|`` (inf when predicted is 0)."""
+    if predicted == 0.0:
+        return float("inf") if measured != 0.0 else 0.0
+    return abs(measured - predicted) / abs(predicted)
+
+
+def is_monotonic(values, increasing: bool = True, tolerance: float = 0.0) -> bool:
+    """Whether a series is (weakly) monotonic up to a relative tolerance.
+
+    ``tolerance`` forgives counter-movements smaller than that fraction
+    of the local scale — simulation series are noisy.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        return True
+    diffs = np.diff(arr)
+    if not increasing:
+        diffs = -diffs
+    scale = np.maximum(np.abs(arr[:-1]), np.abs(arr[1:]))
+    slack = tolerance * np.where(scale > 0.0, scale, 1.0)
+    return bool(np.all(diffs >= -slack))
+
+
+def crossing_indices(a, b) -> list[int]:
+    """Indices ``i`` where series ``a - b`` changes sign between i and i+1.
+
+    Used to locate crossover points (e.g. where the analysis curve
+    crosses the simulation curve, paper Fig. 5).
+    """
+    diff = np.asarray(list(a), dtype=float) - np.asarray(list(b), dtype=float)
+    if diff.size < 2:
+        return []
+    signs = np.sign(diff)
+    crossings = []
+    for i in range(len(signs) - 1):
+        if signs[i] != 0 and signs[i + 1] != 0 and signs[i] != signs[i + 1]:
+            crossings.append(i)
+    return crossings

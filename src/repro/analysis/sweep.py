@@ -1,0 +1,177 @@
+"""Parameter sweeps of the clustered-MANET simulation vs. the analysis.
+
+This is the engine behind Figures 1–3: for each value of the swept
+parameter it runs the full simulation stack (paper-variant RWP mobility,
+event-mode HELLO, LID clustering with reactive maintenance, proactive
+intra-cluster routing), measures the three per-node control message
+frequencies, and evaluates the closed-form model *with the measured
+cluster-head ratio plugged in* — the paper's own methodology ("P for
+LID is measured in real time during the simulation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..clustering import ClusterMaintenanceProtocol, LowestIdClustering
+from ..clustering.base import ClusteringAlgorithm
+from ..core import overhead as overhead_model
+from ..core.params import NetworkParameters
+from ..mobility import EpochRandomWaypointModel
+from ..routing import IntraClusterRoutingProtocol
+from ..sim import HelloProtocol, Simulation
+from .series import summarize
+
+__all__ = ["SweepPoint", "SweepResult", "measure_point", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: measured and predicted frequencies."""
+
+    parameter_value: float
+    params: NetworkParameters
+    measured_head_ratio: float
+    measured: dict[str, float]
+    predicted: dict[str, float]
+    seeds: int
+
+
+@dataclass
+class SweepResult:
+    """A full sweep: the paper's three-curves-per-figure data."""
+
+    parameter: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> list[float]:
+        """Swept parameter values."""
+        return [p.parameter_value for p in self.points]
+
+    def measured_series(self, key: str) -> list[float]:
+        """Measured series for ``f_hello`` / ``f_cluster`` / ``f_route``."""
+        return [p.measured[key] for p in self.points]
+
+    def predicted_series(self, key: str) -> list[float]:
+        """Analysis series for the same keys."""
+        return [p.predicted[key] for p in self.points]
+
+
+def _run_once(
+    params: NetworkParameters,
+    seed: int,
+    duration: float,
+    warmup: float,
+    epoch: float,
+    algorithm: ClusteringAlgorithm,
+) -> tuple[dict[str, float], float]:
+    """One simulation run; returns (frequencies, measured head ratio)."""
+    sim = Simulation(
+        params,
+        EpochRandomWaypointModel(params.velocity, epoch=epoch),
+        seed=seed,
+    )
+    sim.attach(HelloProtocol(mode="event"))
+    maintenance = ClusterMaintenanceProtocol(algorithm)
+    intra = IntraClusterRoutingProtocol(maintenance)
+    sim.attach(intra)  # before maintenance: pre-repair membership view
+    sim.attach(maintenance)
+
+    # Sample the head ratio across the measurement window, like the
+    # paper's real-time P measurement.
+    ratios: list[float] = []
+    warmup_steps = int(round(warmup / sim.dt))
+    measured_steps = max(1, int(round(duration / sim.dt)))
+    sim.stats.stop_measuring()
+    for _ in range(warmup_steps):
+        sim.step()
+    sim.stats.start_measuring()
+    sample_every = max(1, measured_steps // 50)
+    for step_index in range(measured_steps):
+        sim.step()
+        if step_index % sample_every == 0:
+            ratios.append(maintenance.head_ratio())
+    sim.stats.stop_measuring()
+
+    frequencies = {
+        "f_hello": sim.stats.per_node_frequency("hello"),
+        "f_cluster": sim.stats.per_node_frequency("cluster"),
+        "f_route": sim.stats.per_node_frequency("route"),
+    }
+    return frequencies, float(np.mean(ratios))
+
+
+def measure_point(
+    params: NetworkParameters,
+    parameter_value: float,
+    seeds: int = 3,
+    duration: float = 20.0,
+    warmup: float = 2.0,
+    epoch: float = 1.0,
+    algorithm: ClusteringAlgorithm | None = None,
+    convention: str = "consistent",
+) -> SweepPoint:
+    """Measure one parameter point (averaged over ``seeds`` runs)."""
+    if seeds < 1:
+        raise ValueError(f"seeds must be positive, got {seeds}")
+    algorithm = algorithm or LowestIdClustering()
+    runs = [
+        _run_once(params, seed, duration, warmup, epoch, algorithm)
+        for seed in range(seeds)
+    ]
+    measured = {
+        key: summarize([freqs[key] for freqs, _ in runs]).mean
+        for key in ("f_hello", "f_cluster", "f_route")
+    }
+    head_ratio = summarize([ratio for _, ratio in runs]).mean
+    predicted = {
+        "f_hello": overhead_model.hello_frequency(params),
+        "f_cluster": overhead_model.cluster_frequency(
+            params, head_ratio, convention
+        ),
+        "f_route": overhead_model.route_frequency(
+            params, head_ratio, convention
+        ),
+    }
+    return SweepPoint(
+        parameter_value=parameter_value,
+        params=params,
+        measured_head_ratio=head_ratio,
+        measured=measured,
+        predicted=predicted,
+        seeds=seeds,
+    )
+
+
+def run_sweep(
+    parameter: str,
+    base: NetworkParameters,
+    values,
+    **point_kwargs,
+) -> SweepResult:
+    """Sweep one of ``"tx_range"``, ``"velocity"`` or ``"density"``.
+
+    ``values`` are absolute parameter values.  A density sweep keeps
+    ``N`` and the transmission range fixed and varies the area
+    (``rho = N / a^2``), which is how the paper's Figure 3 varies
+    density.
+    """
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        if parameter == "tx_range":
+            params = base.with_(tx_range=float(value))
+        elif parameter == "velocity":
+            params = base.with_(velocity=float(value))
+        elif parameter == "density":
+            params = base.with_(density=float(value))
+        else:
+            raise ValueError(
+                "parameter must be 'tx_range', 'velocity' or 'density', "
+                f"got {parameter!r}"
+            )
+        result.points.append(
+            measure_point(params, float(value), **point_kwargs)
+        )
+    return result

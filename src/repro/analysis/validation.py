@@ -1,0 +1,91 @@
+"""Simulation-vs-analysis validation verdicts.
+
+The reproduction's acceptance criterion mirrors the paper's: the
+analysis should *closely approximate* the simulated control message
+frequencies, and in particular reproduce their shape — the direction of
+every trend and the rough magnitudes.  :func:`validate_sweep` turns a
+:class:`~repro.analysis.sweep.SweepResult` into a structured verdict
+that the tests, benches and EXPERIMENTS.md all consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .series import is_monotonic, relative_error
+from .sweep import SweepResult
+
+__all__ = ["CurveVerdict", "SweepVerdict", "validate_sweep"]
+
+
+@dataclass(frozen=True)
+class CurveVerdict:
+    """Agreement between one measured curve and its analysis curve."""
+
+    key: str
+    mean_relative_error: float
+    max_relative_error: float
+    same_trend: bool
+    correlation: float
+
+    def agrees(
+        self, max_mean_error: float = 1.0, min_correlation: float = 0.9
+    ) -> bool:
+        """Loose shape-level agreement check.
+
+        The default tolerances accept a constant-factor offset (the
+        analysis is a lower bound built from independence
+        approximations) but require the curves to move together.
+        """
+        return (
+            self.mean_relative_error <= max_mean_error
+            and self.same_trend
+            and self.correlation >= min_correlation
+        )
+
+
+@dataclass(frozen=True)
+class SweepVerdict:
+    """Verdicts for all three frequency curves of a sweep."""
+
+    parameter: str
+    curves: dict[str, CurveVerdict]
+
+    def all_agree(self, **kwargs) -> bool:
+        """Whether every curve passes :meth:`CurveVerdict.agrees`."""
+        return all(curve.agrees(**kwargs) for curve in self.curves.values())
+
+
+def _trend_matches(measured, predicted) -> bool:
+    """Do the two series trend the same way (or are both flat-ish)?"""
+    measured = np.asarray(measured, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if len(measured) < 2:
+        return True
+    increasing = predicted[-1] >= predicted[0]
+    return is_monotonic(measured, increasing=increasing, tolerance=0.35)
+
+
+def validate_sweep(result: SweepResult) -> SweepVerdict:
+    """Compare measured and predicted curves of one sweep."""
+    curves: dict[str, CurveVerdict] = {}
+    for key in ("f_hello", "f_cluster", "f_route"):
+        measured = np.asarray(result.measured_series(key), dtype=float)
+        predicted = np.asarray(result.predicted_series(key), dtype=float)
+        errors = [
+            relative_error(m, p) for m, p in zip(measured, predicted)
+        ]
+        if len(measured) >= 3 and np.std(measured) > 0 and np.std(predicted) > 0:
+            correlation = float(np.corrcoef(measured, predicted)[0, 1])
+        else:
+            correlation = 1.0
+        curves[key] = CurveVerdict(
+            key=key,
+            mean_relative_error=float(np.mean(errors)),
+            max_relative_error=float(np.max(errors)),
+            same_trend=_trend_matches(measured, predicted),
+            correlation=correlation,
+        )
+    return SweepVerdict(parameter=result.parameter, curves=curves)

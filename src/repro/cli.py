@@ -1,0 +1,195 @@
+"""Command-line interface: ``repro-manet``.
+
+Subcommands::
+
+    repro-manet list                     # show all experiment ids
+    repro-manet run fig1 [--quick]       # run one experiment
+    repro-manet run all [--quick]        # run every experiment
+    repro-manet model --n 400 --rf 0.15 --vf 0.05
+                                         # evaluate the closed-form model
+
+The experiment tables printed here are the series behind the paper's
+figures; EXPERIMENTS.md archives the full-scale output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.lid_analysis import lid_head_probability
+from .core.overhead import overhead_breakdown
+from .core.params import NetworkParameters
+from .experiments import experiment_ids, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-manet",
+        description=(
+            "Clustering/routing overhead analysis for clustered MANETs "
+            "(reproduction of Xue, Er & Seah, ICDCS 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id or 'all'")
+    run.add_argument(
+        "--quick", action="store_true", help="reduced-scale run (seconds)"
+    )
+    run.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's table as DIR/<id>.csv",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run a JSON scenario through the full stack"
+    )
+    simulate.add_argument("scenario", help="path to a scenario JSON file")
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one parameter, simulation vs analysis"
+    )
+    sweep.add_argument(
+        "parameter", choices=["tx_range", "velocity", "density"]
+    )
+    sweep.add_argument(
+        "values",
+        help="comma-separated absolute values, e.g. 0.08,0.15,0.25",
+    )
+    sweep.add_argument("--n", type=int, default=150, help="network size N")
+    sweep.add_argument(
+        "--rf", type=float, default=0.15, help="base range as r/a"
+    )
+    sweep.add_argument(
+        "--vf", type=float, default=0.05, help="base speed as v/a"
+    )
+    sweep.add_argument("--seeds", type=int, default=2, help="seeds per point")
+    sweep.add_argument(
+        "--duration", type=float, default=10.0, help="measured time per run"
+    )
+
+    model = sub.add_parser("model", help="evaluate the closed-form model")
+    model.add_argument("--n", type=int, default=400, help="network size N")
+    model.add_argument(
+        "--rf", type=float, default=0.15, help="transmission range as r/a"
+    )
+    model.add_argument(
+        "--vf", type=float, default=0.05, help="node speed as v/a"
+    )
+    model.add_argument(
+        "--full-table",
+        action="store_true",
+        help="ROUTE updates carry the full intra-cluster table",
+    )
+    return parser
+
+
+def _run_model(args) -> int:
+    params = NetworkParameters.from_fractions(
+        n_nodes=args.n, range_fraction=args.rf, velocity_fraction=args.vf
+    )
+    head_p = float(
+        lid_head_probability(params.n_nodes, params.density, params.tx_range)
+    )
+    breakdown = overhead_breakdown(params, head_p, full_table=args.full_table)
+    print(f"N={params.n_nodes}  r/a={args.rf}  v/a={args.vf}")
+    print(f"expected degree d      = {breakdown.degree:.4g}")
+    print(f"LID head ratio P       = {head_p:.4g}")
+    print(f"expected clusters n    = {params.n_nodes * head_p:.4g}")
+    for key, value in breakdown.frequencies.items():
+        print(f"{key:22s} = {value:.4g} msgs/node/t")
+    print(f"O_hello                = {breakdown.hello_overhead:.4g} bits/node/t")
+    print(f"O_cluster              = {breakdown.cluster_overhead:.4g} bits/node/t")
+    print(f"O_route                = {breakdown.route_overhead:.4g} bits/node/t")
+    print(f"O_total                = {breakdown.total:.4g} bits/node/t")
+    return 0
+
+
+def _run_sweep(args) -> int:
+    from .analysis import run_sweep
+    from .experiments.figures123 import sweep_table
+
+    try:
+        values = [float(v) for v in args.values.split(",") if v.strip()]
+    except ValueError:
+        print(f"could not parse sweep values: {args.values!r}")
+        return 2
+    if not values:
+        print("no sweep values given")
+        return 2
+    base = NetworkParameters.from_fractions(
+        n_nodes=args.n, range_fraction=args.rf, velocity_fraction=args.vf
+    )
+    result = run_sweep(
+        args.parameter,
+        base,
+        values,
+        seeds=args.seeds,
+        duration=args.duration,
+        warmup=args.duration * 0.15,
+    )
+    table = sweep_table(
+        result,
+        f"Sweep of {args.parameter} (N={args.n})",
+        args.parameter,
+    )
+    print(table.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    if args.command == "model":
+        return _run_model(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    if args.command == "simulate":
+        import json as _json
+
+        from .scenario import load_scenario, run_scenario
+
+        report = run_scenario(load_scenario(args.scenario))
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        return 0
+    if args.command == "run":
+        ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+        csv_dir = None
+        if args.csv is not None:
+            from pathlib import Path
+
+            csv_dir = Path(args.csv)
+            csv_dir.mkdir(parents=True, exist_ok=True)
+        for experiment_id in ids:
+            table = run_experiment(experiment_id, quick=args.quick)
+            print(table.render())
+            print()
+            if csv_dir is not None:
+                table.save_csv(csv_dir / f"{experiment_id}.csv")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

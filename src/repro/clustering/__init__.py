@@ -1,0 +1,34 @@
+"""Clustering algorithms and reactive one-hop cluster maintenance."""
+
+from .base import ClusteringAlgorithm, ClusterState, Role, sequential_formation
+from .properties import PropertyViolations, assert_valid, check_properties
+from .lid import LowestIdClustering
+from .hcc import HighestConnectivityClustering
+from .dmac import DmacClustering
+from .maxmin import MaxMinDCluster
+from .lca import LinkedClusterArchitecture
+from .mobdhop import MobDHopClustering, relative_mobility
+from .maintenance import ClusterMaintenanceProtocol
+from .dhop_maintenance import DHopClusterMaintenanceProtocol
+from .stability import StabilitySummary, StabilityTracker
+
+__all__ = [
+    "ClusteringAlgorithm",
+    "ClusterState",
+    "Role",
+    "sequential_formation",
+    "PropertyViolations",
+    "assert_valid",
+    "check_properties",
+    "LowestIdClustering",
+    "HighestConnectivityClustering",
+    "DmacClustering",
+    "MaxMinDCluster",
+    "LinkedClusterArchitecture",
+    "MobDHopClustering",
+    "relative_mobility",
+    "ClusterMaintenanceProtocol",
+    "DHopClusterMaintenanceProtocol",
+    "StabilitySummary",
+    "StabilityTracker",
+]

@@ -1,0 +1,202 @@
+"""Cluster state representation and the one-hop formation framework.
+
+A cluster structure assigns every node a role — cluster-head or
+cluster-member — and every member a head it is affiliated to.  The
+paper's properties for 1-HOP clustered networks:
+
+* **P1** — no two cluster-heads are directly connected;
+* **P2** — each node is affiliated to exactly one cluster, with its
+  cluster-head at most one hop away.
+
+Most classic one-hop algorithms (LID, HCC, DMAC) share one formation
+skeleton and differ only in the *priority* that decides who becomes a
+head: processing nodes from highest to lowest priority, an undecided
+node joins the best neighboring head if one exists and otherwise
+becomes a head itself.  :func:`sequential_formation` implements that
+skeleton; the algorithm classes supply priorities.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Role",
+    "ClusterState",
+    "ClusteringAlgorithm",
+    "sequential_formation",
+]
+
+
+class Role(enum.IntEnum):
+    """Role of a node in the cluster structure."""
+
+    UNASSIGNED = 0
+    MEMBER = 1
+    HEAD = 2
+
+
+@dataclass
+class ClusterState:
+    """Roles and affiliations of all nodes.
+
+    ``head_of[i]`` is the node id of ``i``'s cluster-head; heads point
+    to themselves; unassigned nodes carry ``-1``.
+    """
+
+    roles: np.ndarray
+    head_of: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.roles = np.asarray(self.roles, dtype=np.int8)
+        self.head_of = np.asarray(self.head_of, dtype=np.int64)
+        if self.roles.shape != self.head_of.shape:
+            raise ValueError("roles and head_of must have equal shapes")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unassigned(cls, n: int) -> "ClusterState":
+        """A fresh state with every node unassigned."""
+        if n < 1:
+            raise ValueError(f"node count must be positive, got {n}")
+        return cls(
+            roles=np.full(n, Role.UNASSIGNED, dtype=np.int8),
+            head_of=np.full(n, -1, dtype=np.int64),
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes covered by this state."""
+        return len(self.roles)
+
+    # ------------------------------------------------------------------
+    # Mutation (kept here so role and affiliation stay consistent)
+    # ------------------------------------------------------------------
+    def make_head(self, node: int) -> None:
+        """Declare ``node`` a cluster-head of its own cluster."""
+        self.roles[node] = Role.HEAD
+        self.head_of[node] = node
+
+    def make_member(self, node: int, head: int) -> None:
+        """Affiliate ``node`` to cluster-head ``head``."""
+        if self.roles[head] != Role.HEAD:
+            raise ValueError(f"node {head} is not a cluster-head")
+        if node == head:
+            raise ValueError("a head cannot be its own member")
+        self.roles[node] = Role.MEMBER
+        self.head_of[node] = head
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_head(self, node: int) -> bool:
+        """Whether ``node`` is a cluster-head."""
+        return self.roles[node] == Role.HEAD
+
+    def heads(self) -> np.ndarray:
+        """Indices of all cluster-heads."""
+        return np.flatnonzero(self.roles == Role.HEAD)
+
+    def members_of(self, head: int) -> np.ndarray:
+        """Member indices of the cluster headed by ``head`` (excl. the head)."""
+        return np.flatnonzero(
+            (self.head_of == head) & (np.arange(self.n_nodes) != head)
+        )
+
+    def cluster_count(self) -> int:
+        """Number of clusters (= number of heads)."""
+        return int(np.sum(self.roles == Role.HEAD))
+
+    def head_ratio(self) -> float:
+        """Measured cluster-head ratio ``P`` = heads / nodes."""
+        return self.cluster_count() / self.n_nodes
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Sizes (head included) of all clusters, sorted by head id."""
+        heads = self.heads()
+        return np.array(
+            [1 + len(self.members_of(int(h))) for h in heads], dtype=int
+        )
+
+    def same_cluster(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` belong to the same cluster."""
+        return (
+            self.head_of[u] >= 0
+            and self.head_of[u] == self.head_of[v]
+        )
+
+    def cluster_nodes(self, head: int) -> np.ndarray:
+        """All nodes of ``head``'s cluster, head included."""
+        return np.flatnonzero(self.head_of == head)
+
+    def copy(self) -> "ClusterState":
+        """Deep copy of the state."""
+        return ClusterState(self.roles.copy(), self.head_of.copy())
+
+
+class ClusteringAlgorithm(abc.ABC):
+    """A clustering algorithm's formation stage.
+
+    ``form`` builds a complete :class:`ClusterState` for a static
+    topology.  One-hop algorithms additionally expose
+    :meth:`head_priority`, which the reactive maintenance protocol uses
+    to arbitrate P1 violations and member re-affiliation at runtime.
+    """
+
+    name: str = "clustering"
+
+    @abc.abstractmethod
+    def form(self, adjacency: np.ndarray, rng=None) -> ClusterState:
+        """Run cluster formation on a boolean adjacency matrix."""
+
+    def head_priority(self, adjacency: np.ndarray) -> np.ndarray:
+        """Per-node priority: larger values win head contention.
+
+        The default raises: algorithms that support reactive
+        maintenance must override.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a head priority and "
+            "cannot drive reactive maintenance"
+        )
+
+
+def sequential_formation(
+    adjacency: np.ndarray, priority: np.ndarray
+) -> ClusterState:
+    """Shared one-hop formation skeleton.
+
+    Nodes are processed from highest to lowest ``priority`` (which must
+    contain no ties — compose tie-breaks into the values).  An
+    undecided node joins the highest-priority neighboring head if one
+    exists, else becomes a head.  The resulting structure satisfies P1
+    and P2 by construction.
+    """
+    adjacency = np.asarray(adjacency, dtype=bool)
+    n = len(adjacency)
+    priority = np.asarray(priority, dtype=float)
+    if priority.shape != (n,):
+        raise ValueError(
+            f"priority must have shape ({n},), got {priority.shape}"
+        )
+    if len(np.unique(priority)) != n:
+        raise ValueError("priority values must be unique (compose tie-breaks)")
+
+    state = ClusterState.unassigned(n)
+    order = np.argsort(-priority, kind="stable")
+    for node in order:
+        node = int(node)
+        neighbor_idx = np.flatnonzero(adjacency[node])
+        head_neighbors = neighbor_idx[
+            state.roles[neighbor_idx] == Role.HEAD
+        ]
+        if len(head_neighbors):
+            best = int(head_neighbors[np.argmax(priority[head_neighbors])])
+            state.make_member(node, best)
+        else:
+            state.make_head(node)
+    return state

@@ -1,0 +1,59 @@
+"""Linked Cluster Architecture (LCA; Baker & Ephremides, 1981).
+
+The earliest of the id-based schemes in the paper's related-work set.
+A node ``i`` becomes a cluster-head iff
+
+* it has the highest id in its closed neighborhood, **or**
+* it is the highest-id node in the closed neighborhood of at least one
+  of its neighbors (i.e. some neighbor would otherwise be left without
+  a head).
+
+Every non-head then affiliates to its highest-id neighboring head.
+Unlike LID/HCC, LCA can produce *adjacent* heads (it predates property
+P1), which is why it participates in the formation comparison but not
+in the P1-enforcing reactive maintenance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ClusteringAlgorithm, ClusterState
+
+__all__ = ["LinkedClusterArchitecture"]
+
+
+class LinkedClusterArchitecture(ClusteringAlgorithm):
+    """LCA formation on a static topology."""
+
+    name = "lca"
+
+    def form(self, adjacency: np.ndarray, rng=None) -> ClusterState:
+        adjacency = np.asarray(adjacency, dtype=bool)
+        n = len(adjacency)
+        closed = adjacency | np.eye(n, dtype=bool)
+        ids = np.arange(n)
+
+        # Highest id of each closed neighborhood.
+        neighborhood_max = np.array(
+            [ids[closed[i]].max() for i in range(n)], dtype=np.int64
+        )
+        is_head = np.zeros(n, dtype=bool)
+        # Rule 1: locally highest.
+        is_head |= neighborhood_max == ids
+        # Rule 2: highest in some neighbor's closed neighborhood.
+        for node in range(n):
+            for neighbor in np.flatnonzero(adjacency[node]):
+                if neighborhood_max[neighbor] == node:
+                    is_head[node] = True
+                    break
+
+        state = ClusterState.unassigned(n)
+        for head in np.flatnonzero(is_head):
+            state.make_head(int(head))
+        for node in np.flatnonzero(~is_head):
+            node = int(node)
+            head_neighbors = np.flatnonzero(adjacency[node] & is_head)
+            # Rule 2 guarantees at least one neighboring head exists.
+            state.make_member(node, int(head_neighbors.max()))
+        return state

@@ -1,0 +1,159 @@
+"""Reactive one-hop cluster maintenance (LCC-style).
+
+The paper's CLUSTER overhead analysis assumes *reactive* maintenance:
+CLUSTER messages are transmitted only when the one-hop properties P1/P2
+are violated by a link change, and — per the Least Clusterhead Change
+(LCC) principle — the structure is repaired with as few role changes as
+possible.  The two triggering events (Section 3.5.2):
+
+* **Link break between a member and its own head** — the member joins a
+  neighboring head if one exists (1 CLUSTER message) or becomes a head
+  itself (1 CLUSTER message).
+* **Link generation between two heads** (P1 violation) — the
+  lower-priority head resigns and re-affiliates (1 CLUSTER message) and
+  each of its former members re-affiliates (1 CLUSTER message each),
+  i.e. ``m`` messages for a cluster of size ``m``, matching Eqn (10).
+
+All other link events leave the structure untouched.  Priorities come
+from the wrapped :class:`~repro.clustering.base.ClusteringAlgorithm`
+(LID: lowest id; HCC: highest degree; DMAC: weight), so one protocol
+body implements maintenance for the whole one-hop family.
+
+The protocol keeps the structure valid (P1 and P2) after *every*
+delivered event — the test suite asserts this invariant continuously.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.engine import Protocol, Simulation
+from .base import ClusteringAlgorithm, ClusterState, Role
+
+__all__ = ["ClusterMaintenanceProtocol"]
+
+
+class ClusterMaintenanceProtocol(Protocol):
+    """Drives a one-hop clustering algorithm inside a simulation.
+
+    Parameters
+    ----------
+    algorithm:
+        The clustering algorithm supplying formation and priorities.
+    dynamic_priority:
+        When true, the priority vector is recomputed from the *current*
+        topology before each contention decision.  Required for faithful
+        HCC (whose priority is the live degree); a no-op for LID and
+        DMAC whose priorities are topology-independent.
+    """
+
+    name = "cluster-maintenance"
+
+    def __init__(
+        self,
+        algorithm: ClusteringAlgorithm,
+        dynamic_priority: bool = False,
+    ) -> None:
+        self.algorithm = algorithm
+        self.dynamic_priority = dynamic_priority
+        self.state: ClusterState | None = None
+        self._priority: np.ndarray | None = None
+        self._change_listeners: list = []
+
+    # ------------------------------------------------------------------
+    def add_change_listener(self, listener) -> None:
+        """Register ``listener(sim, node, time)`` for affiliation changes.
+
+        The listener fires once per node whose affiliation (role or
+        head) changed, after the structure has been repaired.
+        """
+        self._change_listeners.append(listener)
+
+    def _notify(self, sim: Simulation, node: int, time: float) -> None:
+        for listener in self._change_listeners:
+            listener(sim, node, time)
+
+    # ------------------------------------------------------------------
+    def on_attach(self, sim: Simulation) -> None:
+        self._priority = np.asarray(
+            self.algorithm.head_priority(sim.adjacency), dtype=float
+        )
+        self.state = self.algorithm.form(sim.adjacency)
+
+    # ------------------------------------------------------------------
+    # Repair primitives
+    # ------------------------------------------------------------------
+    def _send_cluster_message(self, sim: Simulation) -> None:
+        sim.stats.record("cluster", 1, sim.params.messages.p_cluster)
+
+    def _neighboring_heads(self, sim: Simulation, node: int) -> np.ndarray:
+        neighbors = sim.neighbors_of(node)
+        return neighbors[self.state.roles[neighbors] == Role.HEAD]
+
+    def _best_head(self, candidates: np.ndarray) -> int:
+        return int(candidates[np.argmax(self._priority[candidates])])
+
+    def _reaffiliate(self, sim: Simulation, node: int, time: float) -> None:
+        """Give an orphaned node a new affiliation (one CLUSTER message)."""
+        heads = self._neighboring_heads(sim, node)
+        if len(heads):
+            self.state.make_member(node, self._best_head(heads))
+        else:
+            self.state.make_head(node)
+        self._send_cluster_message(sim)
+        self._notify(sim, node, time)
+
+    def _resign_head(self, sim: Simulation, loser: int, winner: int, time: float) -> None:
+        """Demote ``loser`` (joining ``winner``) and re-home its members."""
+        members = self.state.members_of(loser)
+        self.state.make_member(loser, winner)
+        self._send_cluster_message(sim)
+        self._notify(sim, loser, time)
+        # Former members re-affiliate, deterministically by index.  The
+        # paper counts exactly one CLUSTER message per such node and
+        # ignores chain reactions; re-affiliation here cannot create a
+        # P1 violation because a node only becomes head when it has no
+        # neighboring head.
+        for member in members:
+            self._reaffiliate(sim, int(member), time)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def on_link_down(self, sim: Simulation, u: int, v: int, time: float) -> None:
+        state = self.state
+        # Member lost the link to its own head (P2 violation).
+        if state.roles[u] == Role.MEMBER and state.head_of[u] == v:
+            self._reaffiliate(sim, u, time)
+        elif state.roles[v] == Role.MEMBER and state.head_of[v] == u:
+            self._reaffiliate(sim, v, time)
+
+    def on_link_up(self, sim: Simulation, u: int, v: int, time: float) -> None:
+        state = self.state
+        if (
+            self.dynamic_priority
+            and state.roles[u] == Role.HEAD
+            and state.roles[v] == Role.HEAD
+        ):
+            self._priority = np.asarray(
+                self.algorithm.head_priority(sim.adjacency), dtype=float
+            )
+        if state.roles[u] == Role.HEAD and state.roles[v] == Role.HEAD:
+            # P1 violation: lower priority head resigns.
+            if self._priority[u] >= self._priority[v]:
+                self._resign_head(sim, v, u, time)
+            else:
+                self._resign_head(sim, u, v, time)
+        # Any other combination keeps P1/P2 intact (LCC: a member does
+        # not switch to a newly reachable head).
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def head_ratio(self) -> float:
+        """Current measured cluster-head ratio ``P``."""
+        return self.state.head_ratio()
+
+    def cluster_count(self) -> int:
+        """Current number of clusters."""
+        return self.state.cluster_count()

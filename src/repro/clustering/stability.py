@@ -1,0 +1,148 @@
+"""Cluster stability metrics.
+
+The LCC principle the paper's maintenance model follows exists because
+cluster-head churn is the dominant hidden cost of clustering: every
+head change cascades into CLUSTER messages and route-update rounds.
+This module measures stability directly:
+
+* **head tenure** — how long a node holds the head role once elected;
+* **affiliation tenure** — how long a member stays with one head;
+* **role/affiliation change rates** — per node per unit time.
+
+:class:`StabilityTracker` is a passive protocol observing the
+maintenance protocol's state after every step; algorithms can then be
+ranked by the stability of the structures they maintain (the classic
+comparison of the clustering literature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.engine import Protocol, Simulation
+from .base import Role
+from .maintenance import ClusterMaintenanceProtocol
+
+__all__ = ["StabilitySummary", "StabilityTracker"]
+
+
+@dataclass(frozen=True)
+class StabilitySummary:
+    """Aggregate stability of one run."""
+
+    observed_time: float
+    head_changes: int
+    affiliation_changes: int
+    mean_head_tenure: float
+    mean_affiliation_tenure: float
+    head_change_rate: float
+    affiliation_change_rate: float
+
+
+@dataclass
+class _Tenures:
+    """Completed and open tenure bookkeeping for one attribute."""
+
+    completed: list[float] = field(default_factory=list)
+    started_at: dict[int, float] = field(default_factory=dict)
+
+    def open_tenure(self, node: int, time: float) -> None:
+        self.started_at.setdefault(node, time)
+
+    def close_tenure(self, node: int, time: float) -> None:
+        start = self.started_at.pop(node, None)
+        if start is not None:
+            self.completed.append(time - start)
+
+    def mean(self, now: float) -> float:
+        """Mean tenure, counting still-open tenures at their current age.
+
+        Including open tenures avoids the survivorship bias of very
+        stable structures (whose tenures never complete).
+        """
+        ages = list(self.completed) + [
+            now - start for start in self.started_at.values()
+        ]
+        if not ages:
+            return float("nan")
+        return float(np.mean(ages))
+
+
+class StabilityTracker(Protocol):
+    """Observes a maintenance protocol and scores structural stability."""
+
+    name = "stability-tracker"
+
+    def __init__(self, maintenance: ClusterMaintenanceProtocol) -> None:
+        self.maintenance = maintenance
+        self._previous_roles: np.ndarray | None = None
+        self._previous_heads: np.ndarray | None = None
+        self._start_time: float | None = None
+        self._last_time: float = 0.0
+        self.head_changes = 0
+        self.affiliation_changes = 0
+        self._head_tenures = _Tenures()
+        self._affiliation_tenures = _Tenures()
+
+    def on_attach(self, sim: Simulation) -> None:
+        state = self.maintenance.state
+        if state is None:
+            raise RuntimeError(
+                "StabilityTracker must be attached after the maintenance "
+                "protocol has formed clusters"
+            )
+        self._previous_roles = state.roles.copy()
+        self._previous_heads = state.head_of.copy()
+        self._start_time = sim.time
+        self._last_time = sim.time
+        for node in range(state.n_nodes):
+            if state.roles[node] == Role.HEAD:
+                self._head_tenures.open_tenure(node, sim.time)
+            self._affiliation_tenures.open_tenure(node, sim.time)
+
+    def on_step_end(self, sim: Simulation, time: float) -> None:
+        state = self.maintenance.state
+        roles = state.roles
+        heads = state.head_of
+        role_changed = roles != self._previous_roles
+        head_changed = heads != self._previous_heads
+
+        for node in np.flatnonzero(role_changed):
+            node = int(node)
+            if self._previous_roles[node] == Role.HEAD:
+                self._head_tenures.close_tenure(node, time)
+                self.head_changes += 1
+            if roles[node] == Role.HEAD:
+                self._head_tenures.open_tenure(node, time)
+
+        for node in np.flatnonzero(head_changed):
+            node = int(node)
+            self._affiliation_tenures.close_tenure(node, time)
+            self._affiliation_tenures.open_tenure(node, time)
+            self.affiliation_changes += 1
+
+        self._previous_roles = roles.copy()
+        self._previous_heads = heads.copy()
+        self._last_time = time
+
+    # ------------------------------------------------------------------
+    def summary(self) -> StabilitySummary:
+        """Aggregate the run so far."""
+        if self._start_time is None:
+            raise RuntimeError("tracker was never attached")
+        observed = self._last_time - self._start_time
+        n = len(self._previous_roles)
+        per_node_time = max(observed, 1e-12) * n
+        return StabilitySummary(
+            observed_time=observed,
+            head_changes=self.head_changes,
+            affiliation_changes=self.affiliation_changes,
+            mean_head_tenure=self._head_tenures.mean(self._last_time),
+            mean_affiliation_tenure=self._affiliation_tenures.mean(
+                self._last_time
+            ),
+            head_change_rate=self.head_changes / per_node_time,
+            affiliation_change_rate=self.affiliation_changes / per_node_time,
+        )

@@ -1,0 +1,101 @@
+"""Closed-form analytical model of clustering and routing overhead.
+
+This package implements the paper's primary contribution: the
+lower-bound control-overhead model of Sections 3, 5 and 6.
+
+* :mod:`repro.core.geometry` — link-distance distribution in a square.
+* :mod:`repro.core.degree` — expected degree (Claim 1).
+* :mod:`repro.core.linkdynamics` — CV/BCV link change rates (Claim 2).
+* :mod:`repro.core.overhead` — HELLO/CLUSTER/ROUTE overheads (Eqns 4–14).
+* :mod:`repro.core.lid_analysis` — the LID head ratio ``P`` (Eqns 15–18).
+* :mod:`repro.core.asymptotics` — the Section 6 Θ-notation table.
+"""
+
+from .params import MessageSizes, NetworkParameters
+from .geometry import (
+    link_distance_cdf,
+    link_distance_pdf,
+    link_distance_mean,
+    connectivity_probability,
+)
+from .degree import (
+    expected_degree,
+    expected_degree_eqn1,
+    expected_head_degree,
+    infinite_plane_degree,
+)
+from .linkdynamics import (
+    LinkRates,
+    bcv_link_change_rate,
+    bcv_link_generation_rate,
+    bcv_link_break_rate,
+    cv_link_change_rate,
+    cv_link_generation_rate,
+    cv_link_break_rate,
+    mean_relative_speed,
+)
+from .overhead import (
+    OverheadBreakdown,
+    cluster_frequency,
+    cluster_overhead,
+    hello_frequency,
+    hello_overhead,
+    overhead_breakdown,
+    route_frequency,
+    route_overhead,
+    total_overhead,
+)
+from .lid_analysis import (
+    expected_cluster_count,
+    expected_cluster_size,
+    lid_head_probability,
+    lid_head_probability_approx,
+    lid_head_probability_exact,
+)
+from .asymptotics import (
+    PAPER_CLAIMED_EXPONENTS,
+    ScalingResult,
+    asymptotic_exponent_table,
+    fit_power_law,
+    measure_exponent,
+)
+
+__all__ = [
+    "MessageSizes",
+    "NetworkParameters",
+    "link_distance_cdf",
+    "link_distance_pdf",
+    "link_distance_mean",
+    "connectivity_probability",
+    "expected_degree",
+    "expected_degree_eqn1",
+    "expected_head_degree",
+    "infinite_plane_degree",
+    "LinkRates",
+    "bcv_link_change_rate",
+    "bcv_link_generation_rate",
+    "bcv_link_break_rate",
+    "cv_link_change_rate",
+    "cv_link_generation_rate",
+    "cv_link_break_rate",
+    "mean_relative_speed",
+    "OverheadBreakdown",
+    "cluster_frequency",
+    "cluster_overhead",
+    "hello_frequency",
+    "hello_overhead",
+    "overhead_breakdown",
+    "route_frequency",
+    "route_overhead",
+    "total_overhead",
+    "expected_cluster_count",
+    "expected_cluster_size",
+    "lid_head_probability",
+    "lid_head_probability_approx",
+    "lid_head_probability_exact",
+    "PAPER_CLAIMED_EXPONENTS",
+    "ScalingResult",
+    "asymptotic_exponent_table",
+    "fit_power_law",
+    "measure_exponent",
+]

@@ -1,0 +1,117 @@
+"""Per-node capacity and the control-overhead budget (Gupta & Kumar).
+
+The paper's introduction motivates overhead analysis with the transport
+capacity result it cites as [1]: in a random ad hoc network of ``N``
+nodes the per-node throughput capacity is
+
+.. math::
+
+    \\Theta\\!\\left(\\frac{W}{\\sqrt{N \\log N}}\\right)
+
+for channel bandwidth ``W`` — a *decreasing* function of ``N``, so "as
+the network size increases, the utilization of bandwidth becomes a very
+critical factor".  This module makes that argument quantitative: it
+combines the capacity scaling law with the overhead model to compute
+the fraction of each node's usable bandwidth consumed by control
+traffic, and the network size at which control traffic alone would
+saturate the medium.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .lid_analysis import lid_head_probability
+from .overhead import total_overhead
+from .params import NetworkParameters
+
+__all__ = [
+    "per_node_capacity",
+    "control_overhead_fraction",
+    "saturation_network_size",
+]
+
+
+def per_node_capacity(
+    n_nodes: float, bandwidth: float, constant: float = 1.0
+) -> float:
+    """Gupta–Kumar random-network per-node capacity ``c W / sqrt(N log N)``.
+
+    ``constant`` is the unspecified Θ-constant; the default 1 makes the
+    function a pure scaling law.  ``N`` must be at least 2 so the
+    logarithm is positive.
+    """
+    if n_nodes < 2:
+        raise ValueError(f"n_nodes must be at least 2, got {n_nodes}")
+    if bandwidth <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if constant <= 0.0:
+        raise ValueError(f"constant must be positive, got {constant}")
+    return constant * bandwidth / math.sqrt(n_nodes * math.log(n_nodes))
+
+
+def control_overhead_fraction(
+    params: NetworkParameters,
+    bandwidth: float,
+    head_probability: float | None = None,
+    full_table: bool = True,
+    constant: float = 1.0,
+) -> float:
+    """Fraction of per-node capacity consumed by control traffic.
+
+    ``head_probability`` defaults to the LID value at the given
+    parameters.  Values above 1 mean control traffic alone exceeds the
+    node's share of the medium.
+    """
+    if head_probability is None:
+        head_probability = float(
+            lid_head_probability(params.n_nodes, params.density, params.tx_range)
+        )
+    overhead = total_overhead(
+        params, head_probability, full_table=full_table
+    )
+    capacity = per_node_capacity(params.n_nodes, bandwidth, constant)
+    return overhead / capacity
+
+
+def saturation_network_size(
+    base: NetworkParameters,
+    bandwidth: float,
+    max_nodes: int = 10_000_000,
+    full_table: bool = True,
+    constant: float = 1.0,
+) -> int | None:
+    """Smallest ``N`` at which control traffic saturates the capacity.
+
+    The network grows at fixed density (the area expands with ``N``),
+    which holds the per-node overhead constant (Section 6: Θ(1) in
+    ``N``) while the per-node capacity falls as ``1/sqrt(N log N)`` —
+    so a saturation point always exists; ``None`` is returned only when
+    it lies beyond ``max_nodes``.
+
+    The search is a bisection over ``N`` on the monotone fraction.
+    """
+    def fraction(n_nodes: int) -> float:
+        params = base.with_(n_nodes=int(n_nodes))
+        return control_overhead_fraction(
+            params,
+            bandwidth,
+            full_table=full_table,
+            constant=constant,
+        )
+
+    if fraction(max_nodes) < 1.0:
+        return None
+    low = base.n_nodes
+    if fraction(low) >= 1.0:
+        return low
+    high = max_nodes
+    while high - low > 1:
+        mid = (low + high) // 2
+        if fraction(mid) >= 1.0:
+            high = mid
+        else:
+            low = mid
+    return high

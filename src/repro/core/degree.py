@@ -1,0 +1,139 @@
+"""Expected node degree in the bounded network model (Claim 1).
+
+Claim 1 of the paper: for ``N`` nodes uniformly distributed in a square
+of side ``a = sqrt(N / rho)``, the expected number of neighbors of a
+randomly selected node with transmission range ``r < a`` is
+
+.. math::
+
+    d = (N - 1)\\, F\\!\\left(\\tfrac{r}{a}\\right)
+
+where ``F`` is the link-distance CDF of :mod:`repro.core.geometry`.
+Expanding ``F`` for ``r <= a`` gives the paper's printed Eqn (1):
+
+.. math::
+
+    d = (N-1)\\left[\\frac{\\pi r^2 \\rho}{N}
+        - \\frac{8}{3} r^3 \\left(\\frac{\\rho}{N}\\right)^{3/2}
+        + \\frac{1}{2} r^4 \\left(\\frac{\\rho}{N}\\right)^{2}\\right].
+
+The same formula with the cluster-head population substituted in (count
+``N P``, same square) gives the expected number of *neighboring
+cluster-heads* of a cluster-head, the quantity ``d'`` of Eqn (9).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .geometry import link_distance_cdf, torus_connectivity_probability
+from .params import NetworkParameters
+
+__all__ = [
+    "expected_degree",
+    "expected_degree_eqn1",
+    "expected_head_degree",
+    "expected_torus_degree",
+    "infinite_plane_degree",
+    "degree_from_params",
+]
+
+
+def _validate(n_nodes: float, density: float, tx_range: float) -> float:
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if density <= 0.0:
+        raise ValueError(f"density must be positive, got {density}")
+    if tx_range < 0.0:
+        raise ValueError(f"tx_range must be non-negative, got {tx_range}")
+    return math.sqrt(n_nodes / density)
+
+
+def expected_degree(n_nodes: float, density: float, tx_range) -> float:
+    """Expected degree ``d`` of a random node in the square (Claim 1).
+
+    Uses the exact link-distance CDF, hence remains valid on the whole
+    support ``r <= sqrt(2) a`` (the paper's expansion assumes ``r <= a``).
+
+    ``tx_range`` may be an array for vectorized sweeps.
+    """
+    side = _validate(n_nodes, density, np.max(np.atleast_1d(tx_range)))
+    cdf = link_distance_cdf(tx_range, side=side)
+    return (n_nodes - 1) * cdf
+
+
+def expected_degree_eqn1(n_nodes: float, density: float, tx_range) -> float:
+    """Paper's Eqn (1), the polynomial expansion of :func:`expected_degree`.
+
+    Identical to :func:`expected_degree` for ``r <= a``; provided
+    separately so tests can assert the printed form agrees with the
+    exact CDF form.
+    """
+    _validate(n_nodes, density, np.max(np.atleast_1d(tx_range)))
+    r = np.asarray(tx_range, dtype=float)
+    q = density / n_nodes  # = 1 / a^2
+    term = (
+        math.pi * r**2 * q
+        - (8.0 / 3.0) * r**3 * q**1.5
+        + 0.5 * r**4 * q**2
+    )
+    result = (n_nodes - 1) * term
+    if np.ndim(tx_range) == 0:
+        return float(result)
+    return result
+
+
+def expected_head_degree(
+    n_nodes: float, density: float, tx_range, head_probability: float
+) -> float:
+    """Expected number of neighboring cluster-heads of a head, ``d'`` (Eqn 9).
+
+    Cluster-heads form a sub-population of expected size ``N P`` in the
+    same square, so Claim 1 applies with the head count substituted:
+    ``d' = (N P - 1) F(r / a)``.
+    """
+    if not 0.0 < head_probability <= 1.0:
+        raise ValueError(
+            f"head_probability must be in (0, 1], got {head_probability}"
+        )
+    side = _validate(n_nodes, density, np.max(np.atleast_1d(tx_range)))
+    cdf = link_distance_cdf(tx_range, side=side)
+    return np.maximum(n_nodes * head_probability - 1.0, 0.0) * cdf
+
+
+def expected_torus_degree(n_nodes: float, density: float, tx_range: float) -> float:
+    """Expected degree when the square region *wraps* (torus metric).
+
+    The paper's simulation region wraps, so its degrees follow the
+    torus metric while Claim 1's analysis assumes a bounded window —
+    the torus degree exceeds the window degree by the boundary factor.
+    Comparing the two quantifies the systematic part of the
+    analysis-vs-simulation residual in Figures 1–3.
+    """
+    side = _validate(n_nodes, density, tx_range)
+    return (n_nodes - 1) * torus_connectivity_probability(tx_range, side)
+
+
+def infinite_plane_degree(density: float, tx_range) -> float:
+    """Expected degree on the unbounded plane, ``rho * pi * r**2``.
+
+    This is the degree the CV model sees; the ratio
+    ``expected_degree / infinite_plane_degree`` is the boundary-effect
+    correction that turns CV rates into BCV rates (Claim 2).
+    """
+    if density <= 0.0:
+        raise ValueError(f"density must be positive, got {density}")
+    r = np.asarray(tx_range, dtype=float)
+    result = density * math.pi * r**2
+    if np.ndim(tx_range) == 0:
+        return float(result)
+    return result
+
+
+def degree_from_params(params: NetworkParameters) -> float:
+    """Expected degree for a :class:`NetworkParameters` bundle."""
+    return float(
+        expected_degree(params.n_nodes, params.density, params.tx_range)
+    )

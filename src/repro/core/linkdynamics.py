@@ -1,0 +1,178 @@
+"""Link generation and break rates under the CV and BCV mobility models.
+
+Claim 2 of the paper builds on Cho & Hayes (WCNC 2005), who show that in
+the Constant Velocity (CV) model — infinitely many nodes of density
+``rho`` on an unbounded plane, each moving forever at speed ``v`` in an
+independent uniformly random direction — the per-node link generation
+and link break rates are each
+
+.. math::
+
+    \\lambda_{gen} = \\lambda_{brk} = \\frac{8 \\rho r v}{\\pi},
+
+so the total per-node link change rate is ``16 rho r v / pi``.
+
+The bounded variant (BCV) restricts attention to the ``d`` (of the CV
+model's ``rho pi r^2``) neighbors that lie inside the square ``S``.
+Assuming every established link is equally likely to change, the
+per-node link change rate with other nodes of ``S`` is (paper Eqn (3))
+
+.. math::
+
+    \\lambda = \\frac{16\\, d\\, v}{\\pi^2 r},
+
+again split evenly between generation and break.
+
+The expected *relative speed* of two independent CV nodes with common
+speed ``v`` is ``4 v / pi`` (mean of ``2 v |sin(theta/2)|`` over a
+uniform heading difference ``theta``); it is exposed here because the
+rate formulas are, at heart, a boundary-crossing flux ``rho * 2 r *
+E[v_rel]`` with geometric corrections, and tests exploit this identity.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .degree import expected_degree, infinite_plane_degree
+from .params import NetworkParameters
+
+__all__ = [
+    "mean_relative_speed",
+    "cv_link_generation_rate",
+    "cv_link_break_rate",
+    "cv_link_change_rate",
+    "bcv_link_change_rate",
+    "bcv_link_generation_rate",
+    "bcv_link_break_rate",
+    "bcv_rates_from_params",
+    "expected_link_lifetime",
+    "LinkRates",
+]
+
+
+def mean_relative_speed(velocity: float) -> float:
+    """Expected relative speed of two CV nodes with common speed ``v``.
+
+    With independent uniform headings the relative speed is
+    ``2 v sin(theta / 2)`` for heading difference ``theta``; averaging
+    over ``theta ~ U[0, 2 pi)`` gives ``4 v / pi``.
+    """
+    if velocity < 0.0:
+        raise ValueError(f"velocity must be non-negative, got {velocity}")
+    return 4.0 * velocity / math.pi
+
+
+def cv_link_generation_rate(density: float, tx_range, velocity: float):
+    """Per-node link generation rate of the CV model, ``8 rho r v / pi``."""
+    _check(density, velocity)
+    r = np.asarray(tx_range, dtype=float)
+    result = 8.0 * density * r * velocity / math.pi
+    return _maybe_scalar(result, tx_range)
+
+
+def cv_link_break_rate(density: float, tx_range, velocity: float):
+    """Per-node link break rate of the CV model (equals the generation rate)."""
+    return cv_link_generation_rate(density, tx_range, velocity)
+
+
+def cv_link_change_rate(density: float, tx_range, velocity: float):
+    """Total per-node link change rate of the CV model, ``16 rho r v / pi``."""
+    return 2.0 * cv_link_generation_rate(density, tx_range, velocity)
+
+
+def bcv_link_change_rate(degree, tx_range, velocity: float):
+    """Paper Eqn (3): per-node link change rate inside the square.
+
+    ``degree`` is the expected in-region degree ``d`` of Claim 1.
+    """
+    _check(1.0, velocity)
+    d = np.asarray(degree, dtype=float)
+    r = np.asarray(tx_range, dtype=float)
+    if np.any(r <= 0.0):
+        raise ValueError("tx_range must be positive")
+    result = 16.0 * d * velocity / (math.pi**2 * r)
+    return _maybe_scalar(result, degree if np.ndim(degree) else tx_range)
+
+
+def bcv_link_generation_rate(degree, tx_range, velocity: float):
+    """Per-node link generation rate inside the square (half of Eqn (3))."""
+    return 0.5 * bcv_link_change_rate(degree, tx_range, velocity)
+
+
+def bcv_link_break_rate(degree, tx_range, velocity: float):
+    """Per-node link break rate inside the square (half of Eqn (3))."""
+    return bcv_link_generation_rate(degree, tx_range, velocity)
+
+
+def expected_link_lifetime(tx_range: float, velocity: float) -> float:
+    """Mean lifetime of a CV-model link, ``pi^2 r / (8 v)``.
+
+    Little's-law corollary of Claim 2: the standing link population per
+    node is the plane degree ``rho pi r^2`` while links break at
+    ``lambda_brk = 8 rho r v / pi`` per node, so the mean link lifetime
+    is their ratio — independent of density.  Infinite for ``v = 0``.
+    """
+    if tx_range <= 0.0:
+        raise ValueError(f"tx_range must be positive, got {tx_range}")
+    if velocity < 0.0:
+        raise ValueError(f"velocity must be non-negative, got {velocity}")
+    if velocity == 0.0:
+        return float("inf")
+    return math.pi**2 * tx_range / (8.0 * velocity)
+
+
+class LinkRates:
+    """Bundle of the BCV link dynamics for one parameter point.
+
+    Attributes
+    ----------
+    degree:
+        Expected in-region degree ``d`` (Claim 1).
+    change:
+        Total per-node link change rate (Eqn 3).
+    generation, breakage:
+        The two equal halves of ``change``.
+    boundary_factor:
+        ``d / (rho pi r^2)``, the fraction of a node's plane-model links
+        that fall inside ``S`` — the CV→BCV correction.
+    """
+
+    def __init__(self, params: NetworkParameters) -> None:
+        self.params = params
+        self.degree = float(
+            expected_degree(params.n_nodes, params.density, params.tx_range)
+        )
+        plane_degree = infinite_plane_degree(params.density, params.tx_range)
+        self.boundary_factor = self.degree / plane_degree if plane_degree else 0.0
+        self.change = float(
+            bcv_link_change_rate(self.degree, params.tx_range, params.velocity)
+        )
+        self.generation = 0.5 * self.change
+        self.breakage = 0.5 * self.change
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LinkRates(degree={self.degree:.4g}, change={self.change:.4g}, "
+            f"boundary_factor={self.boundary_factor:.4g})"
+        )
+
+
+def bcv_rates_from_params(params: NetworkParameters) -> LinkRates:
+    """Compute the full :class:`LinkRates` bundle for a parameter set."""
+    return LinkRates(params)
+
+
+def _check(density: float, velocity: float) -> None:
+    if density <= 0.0:
+        raise ValueError(f"density must be positive, got {density}")
+    if velocity < 0.0:
+        raise ValueError(f"velocity must be non-negative, got {velocity}")
+
+
+def _maybe_scalar(result, like):
+    if np.ndim(like) == 0:
+        return float(result)
+    return result

@@ -1,0 +1,372 @@
+"""Closed-form control overhead model (Sections 3.5 and 6 of the paper).
+
+This module is the paper's primary contribution: lower bounds on the
+per-node rate and bandwidth of the three control message categories of a
+one-hop clustered MANET running reactive cluster maintenance and hybrid
+(proactive intra-cluster) routing.
+
+All frequencies are *per node per unit time*; all overheads are in
+*bits per unit time per node* (``frequency * message size``).
+
+The model is parameterized by :class:`~repro.core.params.NetworkParameters`
+and the cluster-head ratio ``P`` of the clustering algorithm in use
+(obtainable for LID from :mod:`repro.core.lid_analysis`, or measured
+from a simulation for any other algorithm — the paper itself plugs the
+*measured* ``P`` into the analysis curves of Figures 1–3).
+
+Two conventions
+---------------
+The only surviving copy of the paper is an OCR scrape that destroyed
+the equations' constants, so each formula was re-derived from the
+paper's own counting arguments (see DESIGN.md §2).  Two readings exist:
+
+* ``convention="consistent"`` (default) — the self-consistent counting:
+  every network-wide event rate is (total link-event rate) × (fraction
+  of links of the triggering kind), with each two-endpoint event
+  counted once.  This is the version that matches the discrete-event
+  simulation — which is the agreement the paper itself reports.
+* ``convention="printed"`` — the literal transliteration of the damaged
+  equations (Eqns 6, 10, 13 as the glyphs survive).  It double-counts
+  member–head breaks by ``2(1-P)`` and head merges by ``2``, and halves
+  the route rate; kept as the OCR-fidelity ablation.
+
+Equation map (numbers follow the paper):
+
+====  =============================================================
+Eqn   Implementation
+====  =============================================================
+(4)   :func:`hello_frequency` — ``f_hello = lambda_gen``
+(5)   :func:`hello_overhead`
+(6)   :func:`member_head_break_frequency` (per cluster-member)
+(7)   network total of (6); exposed via :func:`cluster_frequency`
+(8)   head-head link generation rate, via Claim 2 applied to heads
+(9)   head degree ``d'``, :func:`~repro.core.degree.expected_head_degree`
+(10)  network total CLUSTER messages from head-head generations
+(11)  :func:`cluster_frequency` — per-node CLUSTER rate
+(12)  :func:`cluster_overhead`
+(13)  :func:`route_frequency`
+(14)  :func:`route_overhead`
+====  =============================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .degree import expected_degree, expected_head_degree
+from .linkdynamics import bcv_link_generation_rate
+from .params import NetworkParameters
+
+__all__ = [
+    "hello_frequency",
+    "hello_overhead",
+    "member_head_break_frequency",
+    "head_merge_cluster_message_rate",
+    "cluster_frequency",
+    "cluster_overhead",
+    "route_frequency",
+    "route_overhead",
+    "total_overhead",
+    "OverheadBreakdown",
+    "overhead_breakdown",
+]
+
+_PI2 = math.pi**2
+_CONVENTIONS = ("consistent", "printed")
+
+
+def _check_head_probability(p) -> None:
+    arr = np.asarray(p, dtype=float)
+    if np.any((arr <= 0.0) | (arr > 1.0)):
+        raise ValueError(f"head probability must lie in (0, 1], got {p}")
+
+
+def _check_convention(convention: str) -> None:
+    if convention not in _CONVENTIONS:
+        raise ValueError(
+            f"convention must be one of {_CONVENTIONS}, got {convention!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# HELLO (Eqns 4-5)
+# ----------------------------------------------------------------------
+def hello_frequency(params: NetworkParameters) -> float:
+    """Eqn (4): minimum per-node HELLO rate.
+
+    A node must beacon at least once per new neighbor (link breaks are
+    detected by soft timers and need no transmission), so the minimum
+    HELLO rate equals the BCV link generation rate
+    ``lambda_gen = 8 d v / (pi^2 r)``.  Both conventions agree here.
+    """
+    degree = expected_degree(params.n_nodes, params.density, params.tx_range)
+    return float(
+        bcv_link_generation_rate(degree, params.tx_range, params.velocity)
+    )
+
+
+def hello_overhead(params: NetworkParameters) -> float:
+    """Eqn (5): per-node HELLO overhead in bits per unit time."""
+    return params.messages.p_hello * hello_frequency(params)
+
+
+# ----------------------------------------------------------------------
+# CLUSTER (Eqns 6-12)
+# ----------------------------------------------------------------------
+def member_head_break_frequency(
+    params: NetworkParameters,
+    head_probability: float,
+    convention: str = "consistent",
+) -> float:
+    """Eqn (6): CLUSTER rate at each member due to losing its head link.
+
+    Consistent counting: a member has ``d`` links of which exactly one
+    is to its head; each of its ``lambda_brk = 8 d v / (pi^2 r)`` breaks
+    per unit time hits the head link w.p. ``1/d``, so the per-member
+    rate is ``8 v / (pi^2 r)``.
+
+    Printed counting multiplies the per-member break rate by the
+    *global* member–head link fraction ``2(1-P)/d``, giving
+    ``16 v (1-P) / (pi^2 r)`` — larger by ``2(1-P)``.
+    """
+    _check_head_probability(head_probability)
+    _check_convention(convention)
+    base = 8.0 * params.velocity / (_PI2 * params.tx_range)
+    if convention == "printed":
+        return 2.0 * (1.0 - head_probability) * base
+    return base
+
+
+def head_merge_cluster_message_rate(
+    params: NetworkParameters,
+    head_probability: float,
+    convention: str = "consistent",
+) -> float:
+    """Eqns (8)-(10): network-wide CLUSTER message rate from head merges.
+
+    When two cluster-heads come into range (violating property P1) one
+    resigns and its whole cluster of ``m = 1 / P`` nodes re-affiliates,
+    each sending one CLUSTER message.  The per-head generation rate with
+    other heads is ``8 d' v / (pi^2 r)`` (Claim 2 on the head
+    sub-population, Eqns 8–9).  Consistent counting halves the per-event
+    double count (each merge involves two heads):
+    ``N P * (8 d' v / (pi^2 r)) / 2 * m = 4 d' v N / (pi^2 r)``;
+    the printed form keeps ``8 d' v N / (pi^2 r)``.
+    """
+    _check_head_probability(head_probability)
+    _check_convention(convention)
+    d_head = expected_head_degree(
+        params.n_nodes, params.density, params.tx_range, head_probability
+    )
+    coefficient = 8.0 if convention == "printed" else 4.0
+    return (
+        coefficient
+        * float(d_head)
+        * params.velocity
+        * params.n_nodes
+        / (_PI2 * params.tx_range)
+    )
+
+
+def cluster_frequency(
+    params: NetworkParameters,
+    head_probability: float,
+    convention: str = "consistent",
+) -> float:
+    """Eqn (11): per-node CLUSTER message rate.
+
+    Sum of the member–head break component (per-member rate of Eqn 6
+    times the member fraction ``1-P``) and the head-merge component
+    (Eqn 10 averaged over ``N`` nodes).
+    """
+    _check_head_probability(head_probability)
+    _check_convention(convention)
+    member_component = (1.0 - head_probability) * member_head_break_frequency(
+        params, head_probability, convention
+    )
+    merge_component = (
+        head_merge_cluster_message_rate(params, head_probability, convention)
+        / params.n_nodes
+    )
+    return member_component + merge_component
+
+
+def cluster_overhead(
+    params: NetworkParameters,
+    head_probability: float,
+    convention: str = "consistent",
+) -> float:
+    """Eqn (12): per-node CLUSTER overhead in bits per unit time."""
+    return params.messages.p_cluster * cluster_frequency(
+        params, head_probability, convention
+    )
+
+
+# ----------------------------------------------------------------------
+# ROUTE (Eqns 13-14)
+# ----------------------------------------------------------------------
+def route_frequency(
+    params: NetworkParameters,
+    head_probability: float,
+    convention: str = "consistent",
+    links: str = "all",
+) -> float:
+    """Eqn (13): per-node proactive intra-cluster route update rate.
+
+    Every intra-cluster link change triggers one round of route-update
+    broadcasting in which each of the cluster's ``m = 1/P`` nodes
+    transmits once.  Intra-cluster links comprise the ``N (1-P)``
+    member–head links plus member–member links inside a common cluster
+    (both endpoints members w.p. ``(1-P)^2`` and co-clustered w.p.
+    ``1-P``, i.e. ``N (1-P)^3`` links), a fraction
+    ``[2(1-P) + 2(1-P)^3] / d`` of all links.  The network link-event
+    rate is ``N lambda / 2`` with ``lambda = 16 d v / (pi^2 r)``, so
+
+    .. math::
+
+        f_{routing} = \\frac{16 v \\left[(1-P) + (1-P)^3\\right]}{\\pi^2 r P}.
+
+    The printed glyphs read ``8 v (1-P)(2-(2-P)P) / (pi^2 r P)`` —
+    identical numerator algebra, half the coefficient.
+
+    The ``(1-P)^3`` member–member term ignores spatial correlation
+    (co-members share a disk, so far more of their links are
+    intra-cluster than a random-graph estimate suggests), which is why
+    the model is a *lower bound* whose gap grows with cluster size.
+    ``links="member_head"`` drops that term, modelling a star routing
+    topology: member–head links only, whose count is exactly ``N(1-P)``
+    and which — being guaranteed by property P2 — can only *break*
+    (a member is never "newly linked" to its own head), so only the
+    break half of the change rate applies.  Paired with the simulator's
+    ``topology="star"`` trigger, the remaining analysis/simulation gap
+    isolates the one irreducible mean-field approximation: update
+    rounds weight clusters by size, so the effective messages-per-event
+    exceed the mean cluster size ``1/P`` by the size distribution's
+    skew.
+    """
+    _check_head_probability(head_probability)
+    _check_convention(convention)
+    if links not in ("all", "member_head"):
+        raise ValueError(
+            f"links must be 'all' or 'member_head', got {links!r}"
+        )
+    p = head_probability
+    coefficient = 8.0 if convention == "printed" else 16.0
+    if links == "member_head":
+        # Break-only events: half the link change rate applies.
+        link_mass = 0.5 * (1.0 - p)
+    else:
+        link_mass = (1.0 - p) + (1.0 - p) ** 3
+    numerator = coefficient * params.velocity * link_mass
+    return numerator / (_PI2 * params.tx_range * p)
+
+
+def route_overhead(
+    params: NetworkParameters,
+    head_probability: float,
+    full_table: bool = False,
+    convention: str = "consistent",
+) -> float:
+    """Eqn (14): per-node ROUTE overhead in bits per unit time.
+
+    ``p_route`` is the size of a single routing table entry.  With
+    ``full_table=False`` each update message carries one changed entry
+    (the literal Eqn 14).  With ``full_table=True`` each message carries
+    the full intra-cluster table of ``m = 1/P`` entries — the reading
+    under which Section 6's claim that ROUTE overhead *grows with r*
+    and dominates "because of its ... large message size" holds.
+    """
+    _check_head_probability(head_probability)
+    freq = route_frequency(params, head_probability, convention)
+    entries = 1.0 / head_probability if full_table else 1.0
+    return params.messages.p_route * entries * freq
+
+
+# ----------------------------------------------------------------------
+# Totals
+# ----------------------------------------------------------------------
+def total_overhead(
+    params: NetworkParameters,
+    head_probability: float,
+    full_table: bool = False,
+    convention: str = "consistent",
+) -> float:
+    """Per-node total control overhead ``O_hello + O_cluster + O_routing``."""
+    return (
+        hello_overhead(params)
+        + cluster_overhead(params, head_probability, convention)
+        + route_overhead(
+            params, head_probability, full_table=full_table, convention=convention
+        )
+    )
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """All model outputs for one parameter point.
+
+    Frequencies are per node per unit time; overheads are bits per node
+    per unit time.  ``degree`` and ``head_degree`` are the Claim 1
+    quantities the frequencies were computed from.
+    """
+
+    params: NetworkParameters
+    head_probability: float
+    degree: float
+    head_degree: float
+    hello_frequency: float
+    cluster_frequency: float
+    route_frequency: float
+    hello_overhead: float
+    cluster_overhead: float
+    route_overhead: float
+
+    @property
+    def total(self) -> float:
+        """Total per-node control overhead in bits per unit time."""
+        return self.hello_overhead + self.cluster_overhead + self.route_overhead
+
+    @property
+    def frequencies(self) -> dict[str, float]:
+        """The three message rates keyed like the paper's figure legends."""
+        return {
+            "f_hello": self.hello_frequency,
+            "f_cluster": self.cluster_frequency,
+            "f_route": self.route_frequency,
+        }
+
+
+def overhead_breakdown(
+    params: NetworkParameters,
+    head_probability: float,
+    full_table: bool = False,
+    convention: str = "consistent",
+) -> OverheadBreakdown:
+    """Evaluate the complete model at one parameter point."""
+    _check_head_probability(head_probability)
+    _check_convention(convention)
+    degree = float(
+        expected_degree(params.n_nodes, params.density, params.tx_range)
+    )
+    head_degree = float(
+        expected_head_degree(
+            params.n_nodes, params.density, params.tx_range, head_probability
+        )
+    )
+    return OverheadBreakdown(
+        params=params,
+        head_probability=head_probability,
+        degree=degree,
+        head_degree=head_degree,
+        hello_frequency=hello_frequency(params),
+        cluster_frequency=cluster_frequency(params, head_probability, convention),
+        route_frequency=route_frequency(params, head_probability, convention),
+        hello_overhead=hello_overhead(params),
+        cluster_overhead=cluster_overhead(params, head_probability, convention),
+        route_overhead=route_overhead(
+            params, head_probability, full_table=full_table, convention=convention
+        ),
+    )

@@ -1,0 +1,157 @@
+"""Network parameter bundles shared by the analytical model and simulator.
+
+The paper's model is a function of five primitive quantities — network
+size ``N``, node density ``rho``, transmission range ``r``, node speed
+``v`` and the cluster-head ratio ``P`` — plus the three control-message
+sizes.  :class:`NetworkParameters` packages the primitives with their
+derived geometry (area, side length) and validates the regime the
+analysis assumes (``r < a``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+__all__ = ["MessageSizes", "NetworkParameters"]
+
+
+@dataclass(frozen=True)
+class MessageSizes:
+    """Sizes, in bits, of the three control message categories.
+
+    ``p_route`` is the size of a *single routing table entry*, following
+    the paper; whether an update message carries one entry or a full
+    table is a knob of the overhead model, not of the sizes.
+
+    The defaults are representative of compact MANET control packets
+    (the paper does not publish its values): a HELLO carrying an address
+    and a short neighbor digest, a CLUSTER message carrying an address
+    pair and role, and a routing entry of destination/next-hop/metric.
+    """
+
+    p_hello: float = 256.0
+    p_cluster: float = 128.0
+    p_route: float = 96.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_hello", "p_cluster", "p_route"):
+            value = getattr(self, name)
+            if value <= 0.0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Primitive parameters of the bounded (BCV) network model.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes ``N`` expected inside the square region ``S``.
+    density:
+        Node density ``rho`` (nodes per unit area).  The square side is
+        derived as ``a = sqrt(N / rho)``.
+    tx_range:
+        Transmission range ``r``.  The analysis requires ``r < a``.
+    velocity:
+        Constant node speed ``v`` of the (B)CV mobility model.
+    messages:
+        Control message sizes in bits.
+    """
+
+    n_nodes: int
+    density: float
+    tx_range: float
+    velocity: float
+    messages: MessageSizes = field(default_factory=MessageSizes)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2:
+            raise ValueError(f"n_nodes must be at least 2, got {self.n_nodes}")
+        if self.density <= 0.0:
+            raise ValueError(f"density must be positive, got {self.density}")
+        if self.tx_range <= 0.0:
+            raise ValueError(f"tx_range must be positive, got {self.tx_range}")
+        if self.velocity < 0.0:
+            raise ValueError(f"velocity must be non-negative, got {self.velocity}")
+        if self.tx_range >= self.side:
+            raise ValueError(
+                f"the analysis assumes tx_range < side (r < a); got "
+                f"r={self.tx_range} and a={self.side:.6g}"
+            )
+
+    @property
+    def area(self) -> float:
+        """Area of the square region ``S`` (``N / rho``)."""
+        return self.n_nodes / self.density
+
+    @property
+    def side(self) -> float:
+        """Border length ``a = sqrt(N / rho)`` of the square region."""
+        return math.sqrt(self.area)
+
+    @property
+    def range_fraction(self) -> float:
+        """Transmission range as a fraction of the side, ``r / a``."""
+        return self.tx_range / self.side
+
+    @property
+    def velocity_fraction(self) -> float:
+        """Node speed as a fraction of the side, ``v / a``."""
+        return self.velocity / self.side
+
+    # ------------------------------------------------------------------
+    # Convenient constructors and derivations
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_side(
+        cls,
+        n_nodes: int,
+        side: float,
+        tx_range: float,
+        velocity: float,
+        messages: MessageSizes | None = None,
+    ) -> "NetworkParameters":
+        """Build parameters from an explicit square side instead of density."""
+        if side <= 0.0:
+            raise ValueError(f"side must be positive, got {side}")
+        density = n_nodes / (side * side)
+        return cls(
+            n_nodes=n_nodes,
+            density=density,
+            tx_range=tx_range,
+            velocity=velocity,
+            messages=messages or MessageSizes(),
+        )
+
+    @classmethod
+    def from_fractions(
+        cls,
+        n_nodes: int,
+        range_fraction: float,
+        velocity_fraction: float,
+        side: float = 1.0,
+        messages: MessageSizes | None = None,
+    ) -> "NetworkParameters":
+        """Build parameters the way the paper's figures express them.
+
+        Figures 1–2 express ``r`` and ``v`` as fractions of the border
+        length ``a``; this constructor accepts those fractions directly.
+        """
+        return cls.from_side(
+            n_nodes=n_nodes,
+            side=side,
+            tx_range=range_fraction * side,
+            velocity=velocity_fraction * side,
+            messages=messages,
+        )
+
+    def with_(self, **changes) -> "NetworkParameters":
+        """Return a copy with the given primitive fields replaced.
+
+        ``density`` interacts with ``n_nodes`` through the derived side;
+        the replacement is applied to the primitives verbatim, exactly as
+        a parameter sweep expects.
+        """
+        return replace(self, **changes)

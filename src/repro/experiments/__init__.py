@@ -1,0 +1,14 @@
+"""Experiments reproducing every figure and quantitative claim."""
+
+from .config import FULL, QUICK, ExperimentScale, scale_for
+from .registry import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = [
+    "FULL",
+    "QUICK",
+    "ExperimentScale",
+    "scale_for",
+    "EXPERIMENTS",
+    "experiment_ids",
+    "run_experiment",
+]

@@ -1,0 +1,73 @@
+"""Backbone structure vs transmission range (scalability future work).
+
+The paper's conclusion lists scalability analysis as future work; the
+quantity that governs it is the *backbone*: the heads-plus-gateways
+subset that forwards inter-cluster traffic.  This experiment sweeps the
+transmission range and reports the backbone's size, its reachability
+(does restricting forwarding to it lose connectivity?), and the head
+separation guaranteed by property P1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import Table
+from ..analysis.topology import summarize_structure
+from ..clustering import LowestIdClustering
+from ..spatial import Boundary, SquareRegion
+from .config import scale_for
+
+__all__ = ["run_backbone"]
+
+
+def run_backbone(quick: bool = False) -> Table:
+    """Structural metrics of LID-clustered topologies across ranges."""
+    scale = scale_for(quick)
+    n_nodes = scale.n_nodes
+    region = SquareRegion(1.0, Boundary.OPEN)
+    table = Table(
+        title=f"Backbone structure vs transmission range (N={n_nodes}, LID)",
+        headers=[
+            "r/a",
+            "P",
+            "gateway ratio",
+            "backbone ratio",
+            "reachability",
+            "max diam",
+            "min head sep / r",
+        ],
+        notes=[
+            "backbone = heads + gateways; reachability = fraction of "
+            "connected pairs still connected when only the backbone forwards",
+            "P1 guarantees min head separation / r > 1",
+        ],
+    )
+    for fraction in np.linspace(0.08, 0.3, scale.sweep_points):
+        summaries = []
+        for seed in range(scale.seeds):
+            positions = region.uniform_positions(n_nodes, seed)
+            adjacency = region.adjacency(positions, float(fraction))
+            state = LowestIdClustering().form(adjacency)
+            summaries.append(
+                summarize_structure(
+                    state,
+                    adjacency,
+                    positions,
+                    region,
+                    samples=120 if quick else 250,
+                    rng=seed,
+                )
+            )
+        table.add_row(
+            float(fraction),
+            float(np.mean([s.head_ratio for s in summaries])),
+            float(np.mean([s.gateway_ratio for s in summaries])),
+            float(np.mean([s.backbone_ratio for s in summaries])),
+            float(np.mean([s.backbone_reachability for s in summaries])),
+            float(np.max([s.max_cluster_diameter for s in summaries])),
+            float(
+                np.min([s.min_head_separation for s in summaries]) / fraction
+            ),
+        )
+    return table

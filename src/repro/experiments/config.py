@@ -1,0 +1,54 @@
+"""Experiment scaling presets.
+
+Every experiment runs at two scales: ``full`` approximates the paper's
+setup (N = 400 nodes, long measurement windows, several seeds) and is
+what EXPERIMENTS.md records; ``quick`` is a minutes-not-hours variant
+used by the benchmark suite and CI.  Both exercise identical code
+paths — only sizes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "QUICK", "FULL", "scale_for"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    n_nodes: int
+    seeds: int
+    duration: float
+    warmup: float
+    sweep_points: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 10:
+            raise ValueError(f"n_nodes must be at least 10, got {self.n_nodes}")
+        if self.seeds < 1:
+            raise ValueError(f"seeds must be positive, got {self.seeds}")
+        if self.duration <= 0.0 or self.warmup < 0.0:
+            raise ValueError("duration must be positive and warmup non-negative")
+        if self.sweep_points < 2:
+            raise ValueError(
+                f"sweep_points must be at least 2, got {self.sweep_points}"
+            )
+
+
+#: Bench/CI scale: small but statistically meaningful.
+QUICK = ExperimentScale(
+    name="quick", n_nodes=120, seeds=2, duration=10.0, warmup=1.5, sweep_points=5
+)
+
+#: Paper scale: N = 400 as in Section 4.
+FULL = ExperimentScale(
+    name="full", n_nodes=400, seeds=3, duration=25.0, warmup=3.0, sweep_points=8
+)
+
+
+def scale_for(quick: bool) -> ExperimentScale:
+    """Select the preset for a boolean ``quick`` flag."""
+    return QUICK if quick else FULL

@@ -1,0 +1,71 @@
+"""The experiment registry: every paper artifact, one callable each.
+
+``EXPERIMENTS`` maps experiment ids (DESIGN.md §4) to functions of a
+single ``quick`` flag returning a renderable
+:class:`~repro.analysis.report.Table`.  The CLI and the benchmark suite
+both dispatch through :func:`run_experiment`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..analysis import Table
+from .ablations import (
+    run_ablation_beacon,
+    run_ablation_boundary,
+    run_ablation_conventions,
+    run_ablation_route_payload,
+)
+from .backbone import run_backbone
+from .claims import run_claim1, run_claim2
+from .clustering_comparison import run_clustering_comparison
+from .dhop import run_dhop
+from .figures123 import run_fig1, run_fig2, run_fig3
+from .figures45 import run_fig4a, run_fig4b, run_fig5a, run_fig5b
+from .mobility_sensitivity import run_mobility_sensitivity
+from .protocols import run_protocol_comparison
+from .sec6 import run_sec6
+from .stability import run_stability
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+EXPERIMENTS: dict[str, Callable[[bool], Table]] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4a": run_fig4a,
+    "fig4b": run_fig4b,
+    "fig5a": run_fig5a,
+    "fig5b": run_fig5b,
+    "sec6": run_sec6,
+    "claim1": run_claim1,
+    "claim2": run_claim2,
+    "protocols": run_protocol_comparison,
+    "clustering": run_clustering_comparison,
+    "mobility": run_mobility_sensitivity,
+    "backbone": run_backbone,
+    "stability": run_stability,
+    "dhop": run_dhop,
+    "ablation-conventions": run_ablation_conventions,
+    "ablation-route-payload": run_ablation_route_payload,
+    "ablation-boundary": run_ablation_boundary,
+    "ablation-beacon": run_ablation_beacon,
+}
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, in registry order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> Table:
+    """Run one experiment by id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+    return runner(quick)

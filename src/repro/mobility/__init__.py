@@ -1,0 +1,26 @@
+"""Mobility models: the paper's CV/BCV and epoch-RWP plus the survey zoo."""
+
+from .base import MobilityModel
+from .constant_velocity import ConstantVelocityModel
+from .random_waypoint import EpochRandomWaypointModel, RandomWaypointModel
+from .random_walk import RandomWalkModel
+from .random_direction import RandomDirectionModel
+from .gauss_markov import GaussMarkovModel
+from .manhattan import ManhattanModel
+from .group import ReferencePointGroupModel
+from .trace import MobilityTrace, TraceRecorder, TraceReplayModel
+
+__all__ = [
+    "MobilityModel",
+    "ConstantVelocityModel",
+    "EpochRandomWaypointModel",
+    "RandomWaypointModel",
+    "RandomWalkModel",
+    "RandomDirectionModel",
+    "GaussMarkovModel",
+    "ManhattanModel",
+    "ReferencePointGroupModel",
+    "MobilityTrace",
+    "TraceRecorder",
+    "TraceReplayModel",
+]

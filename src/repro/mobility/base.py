@@ -1,0 +1,134 @@
+"""Mobility model interface.
+
+Every model is a stateful object driven by the simulation loop:
+
+1. :meth:`MobilityModel.reset` places ``n`` nodes in a region and
+   initializes per-node motion state from a seeded RNG;
+2. :meth:`MobilityModel.advance` moves every node forward by ``dt`` and
+   returns the new positions.
+
+Positions are always ``(N, 2)`` float arrays inside the region (for
+regions with closed boundaries).  Models must be deterministic given the
+seed, so experiments are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..spatial import SquareRegion
+
+__all__ = ["MobilityModel"]
+
+
+class MobilityModel(abc.ABC):
+    """Base class for all mobility models."""
+
+    def __init__(self) -> None:
+        self._region: SquareRegion | None = None
+        self._rng: np.random.Generator | None = None
+        self._positions: np.ndarray | None = None
+        self._time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(
+        self, n: int, region: SquareRegion, rng=None
+    ) -> np.ndarray:
+        """Place ``n`` nodes and initialize motion state.
+
+        Returns the initial positions.  ``rng`` may be a seed or a
+        ``numpy.random.Generator``.
+        """
+        if n < 1:
+            raise ValueError(f"node count must be positive, got {n}")
+        self._region = region
+        self._rng = np.random.default_rng(rng)
+        self._time = 0.0
+        self._positions = self._initial_positions(n)
+        self._after_reset(n)
+        return self.positions
+
+    def _initial_positions(self, n: int) -> np.ndarray:
+        """Initial placement; uniform by default, models may override."""
+        return self.region.uniform_positions(n, self.rng)
+
+    def _after_reset(self, n: int) -> None:
+        """Hook for models to initialize velocities/targets after placement."""
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def advance(self, dt: float) -> np.ndarray:
+        """Advance the model by ``dt`` and return the new positions."""
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        self._require_reset()
+        if dt > 0.0:
+            self._advance(dt)
+            self._time += dt
+        return self.positions
+
+    @abc.abstractmethod
+    def _advance(self, dt: float) -> None:
+        """Move all nodes forward by ``dt`` (mutates ``self._positions``)."""
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """Current positions as a read-only view."""
+        self._require_reset()
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def region(self) -> SquareRegion:
+        """The region the model was reset into."""
+        if self._region is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has not been reset(); call "
+                "reset(n, region, rng) before use"
+            )
+        return self._region
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The model's random generator."""
+        if self._rng is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has not been reset(); call "
+                "reset(n, region, rng) before use"
+            )
+        return self._rng
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        self._require_reset()
+        return len(self._positions)
+
+    @property
+    def time(self) -> float:
+        """Total simulated time advanced since reset."""
+        return self._time
+
+    def _require_reset(self) -> None:
+        if self._positions is None or self._region is None or self._rng is None:
+            raise RuntimeError(
+                f"{type(self).__name__} has not been reset(); call "
+                "reset(n, region, rng) before use"
+            )
+
+    @staticmethod
+    def _headings_to_velocities(headings: np.ndarray, speeds) -> np.ndarray:
+        """Convert heading angles and speeds to ``(N, 2)`` velocity vectors."""
+        speeds = np.asarray(speeds, dtype=float)
+        return np.column_stack(
+            [np.cos(headings), np.sin(headings)]
+        ) * speeds.reshape(-1, 1)

@@ -1,0 +1,63 @@
+"""Constant Velocity (CV) mobility and its bounded variant (BCV).
+
+The CV model (Cho & Hayes, WCNC 2005) used by the paper's analysis:
+nodes are uniformly distributed, each picks an independent uniform
+heading at time zero and moves with the same constant speed ``v``
+forever.  CV assumes an infinite plane; the paper's Bounded Constant
+Velocity (BCV) variant observes a square window ``S`` of a plane with
+density ``rho``, so the average population of ``S`` is ``N``.
+
+On a computer the unbounded plane is realized as a *torus*: wrapping
+preserves the uniform spatial distribution and the CV link-change rate
+while keeping the population exactly ``N`` — the closest realizable
+equivalent (see DESIGN.md, substitutions).  Instantiating the model on a
+region with ``Boundary.REFLECT`` gives the boundary-condition ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spatial import Boundary
+from .base import MobilityModel
+
+__all__ = ["ConstantVelocityModel"]
+
+
+class ConstantVelocityModel(MobilityModel):
+    """All nodes move forever at speed ``v`` in fixed random headings.
+
+    Parameters
+    ----------
+    speed:
+        The common constant speed ``v >= 0``.
+    """
+
+    def __init__(self, speed: float) -> None:
+        super().__init__()
+        if speed < 0.0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        self.speed = speed
+        self._velocities: np.ndarray | None = None
+
+    def _after_reset(self, n: int) -> None:
+        headings = self.rng.uniform(0.0, 2.0 * np.pi, size=n)
+        self._velocities = self._headings_to_velocities(
+            headings, np.full(n, self.speed)
+        )
+
+    def _advance(self, dt: float) -> None:
+        raw = self._positions + self._velocities * dt
+        self._positions, velocities = self.region.apply_boundary(
+            raw, self._velocities
+        )
+        if self.region.boundary is Boundary.REFLECT:
+            self._velocities = velocities
+
+    @property
+    def velocities(self) -> np.ndarray:
+        """Current per-node velocity vectors (read-only)."""
+        self._require_reset()
+        view = self._velocities.view()
+        view.flags.writeable = False
+        return view

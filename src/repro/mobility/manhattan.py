@@ -1,0 +1,151 @@
+"""Manhattan grid mobility.
+
+Nodes move along the lines of a regular street grid overlaid on the
+square: at each intersection a node continues straight with probability
+1/2 or turns left/right with probability 1/4 each, re-drawing its speed
+per street segment.  This is the urban-topology member of the Camp et
+al. survey and exercises strongly non-isotropic movement in the
+mobility-sensitivity experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import MobilityModel
+
+__all__ = ["ManhattanModel"]
+
+# Unit vectors for the four street directions: +x, -x, +y, -y.
+_DIRECTIONS = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+
+
+class ManhattanModel(MobilityModel):
+    """Street-grid mobility with straight/turn decisions at intersections.
+
+    Parameters
+    ----------
+    speed_range:
+        ``(v_min, v_max)`` with ``0 < v_min <= v_max``; a speed is drawn
+        per street segment.
+    blocks:
+        Number of city blocks per side (so there are ``blocks + 1``
+        streets in each direction).
+    turn_probability:
+        Probability of turning at an intersection (split evenly between
+        left and right).  The classic model uses 0.5.
+    """
+
+    def __init__(
+        self,
+        speed_range: tuple[float, float],
+        blocks: int = 5,
+        turn_probability: float = 0.5,
+    ) -> None:
+        super().__init__()
+        v_min, v_max = speed_range
+        if not 0.0 < v_min <= v_max:
+            raise ValueError(
+                f"speed_range must satisfy 0 < v_min <= v_max, got {speed_range}"
+            )
+        if blocks < 1:
+            raise ValueError(f"blocks must be at least 1, got {blocks}")
+        if not 0.0 <= turn_probability <= 1.0:
+            raise ValueError(
+                f"turn_probability must lie in [0, 1], got {turn_probability}"
+            )
+        self.speed_range = (float(v_min), float(v_max))
+        self.blocks = blocks
+        self.turn_probability = turn_probability
+        self._direction: np.ndarray | None = None  # index into _DIRECTIONS
+        self._speeds: np.ndarray | None = None
+
+    @property
+    def street_spacing(self) -> float:
+        """Distance between adjacent parallel streets."""
+        return self.region.side / self.blocks
+
+    def _initial_positions(self, n: int) -> np.ndarray:
+        """Place nodes on random street lines (snap one coordinate)."""
+        pos = self.region.uniform_positions(n, self.rng)
+        spacing = self.region.side / self.blocks
+        snap_axis = self.rng.integers(0, 2, size=n)
+        snapped = np.round(pos / spacing) * spacing
+        pos[np.arange(n), snap_axis] = snapped[np.arange(n), snap_axis]
+        np.clip(pos, 0.0, self.region.side, out=pos)
+        return pos
+
+    def _after_reset(self, n: int) -> None:
+        # Travel along the non-snapped axis initially: infer from which
+        # coordinate sits on a street line.
+        spacing = self.street_spacing
+        on_vertical = (
+            np.abs(
+                self._positions[:, 0] / spacing
+                - np.round(self._positions[:, 0] / spacing)
+            )
+            < 1e-9
+        )
+        # on a vertical street -> move along y; else along x.
+        axis_y = on_vertical
+        sign = self.rng.integers(0, 2, size=n) * 2 - 1
+        self._direction = np.where(
+            axis_y, np.where(sign > 0, 2, 3), np.where(sign > 0, 0, 1)
+        )
+        self._speeds = self.rng.uniform(*self.speed_range, size=n)
+
+    def _next_intersection_distance(self, idx: np.ndarray) -> np.ndarray:
+        """Distance from each node to the next intersection ahead."""
+        spacing = self.street_spacing
+        dirs = _DIRECTIONS[self._direction[idx]]
+        axis = np.argmax(np.abs(dirs), axis=1)
+        coord = self._positions[idx, axis]
+        forward = dirs[np.arange(len(idx)), axis]
+        offset = coord / spacing
+        ahead = np.where(forward > 0, np.ceil(offset + 1e-9), np.floor(offset - 1e-9))
+        return np.abs(ahead * spacing - coord)
+
+    def _turn(self, idx: np.ndarray) -> None:
+        """Apply intersection decisions for nodes at an intersection."""
+        side = self.region.side
+        u = self.rng.uniform(size=len(idx))
+        turning = u < self.turn_probability
+        # Current axis: 0/1 -> x, 2/3 -> y.  Turning swaps the axis.
+        current = self._direction[idx]
+        horizontal = current < 2
+        left_right = self.rng.integers(0, 2, size=len(idx))
+        turned = np.where(horizontal, 2 + left_right, left_right)
+        new_dir = np.where(turning, turned, current)
+
+        # Nodes at the region edge cannot continue off-grid: force any
+        # direction that exits the square to its opposite.
+        pos = self._positions[idx]
+        dirs = _DIRECTIONS[new_dir]
+        exits_low = (pos <= 1e-9) & (dirs < 0.0)
+        exits_high = (pos >= side - 1e-9) & (dirs > 0.0)
+        flip = np.any(exits_low | exits_high, axis=1)
+        new_dir = np.where(flip, new_dir ^ 1, new_dir)
+
+        self._direction[idx] = new_dir
+        self._speeds[idx] = self.rng.uniform(*self.speed_range, size=len(idx))
+
+    def _advance(self, dt: float) -> None:
+        remaining = np.full(self.n_nodes, dt)
+        for _ in range(10_000):
+            idx = np.flatnonzero(remaining > 1e-12)
+            if not len(idx):
+                break
+            to_cross = self._next_intersection_distance(idx)
+            speed = self._speeds[idx]
+            time_to_cross = to_cross / speed
+            step = np.minimum(remaining[idx], time_to_cross)
+            self._positions[idx] += (
+                _DIRECTIONS[self._direction[idx]] * (speed * step)[:, None]
+            )
+            np.clip(self._positions, 0.0, self.region.side, out=self._positions)
+            remaining[idx] -= step
+            crossed = idx[step >= time_to_cross - 1e-12]
+            if len(crossed):
+                self._turn(crossed)
+        else:  # pragma: no cover - defensive guard
+            raise RuntimeError("Manhattan advance failed to converge")

@@ -1,0 +1,105 @@
+"""Random Direction mobility.
+
+Each node picks a uniform heading, travels at a drawn speed until it
+reaches the region border, pauses there, then picks a fresh heading
+(restricted to directions pointing back inside) and repeats.  Unlike
+RWP, the stationary node distribution is uniform-ish rather than
+center-biased, which is why it appears in mobility-sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import MobilityModel
+
+__all__ = ["RandomDirectionModel"]
+
+
+class RandomDirectionModel(MobilityModel):
+    """Travel-to-border, pause, turn-around mobility.
+
+    Parameters
+    ----------
+    speed_range:
+        ``(v_min, v_max)`` with ``0 < v_min <= v_max``.
+    pause:
+        Fixed pause duration at each border arrival (``>= 0``).
+    """
+
+    def __init__(self, speed_range: tuple[float, float], pause: float = 0.0) -> None:
+        super().__init__()
+        v_min, v_max = speed_range
+        if not 0.0 < v_min <= v_max:
+            raise ValueError(
+                f"speed_range must satisfy 0 < v_min <= v_max, got {speed_range}"
+            )
+        if pause < 0.0:
+            raise ValueError(f"pause must be non-negative, got {pause}")
+        self.speed_range = (float(v_min), float(v_max))
+        self.pause = pause
+        self._velocities: np.ndarray | None = None
+        self._pause_left: np.ndarray | None = None
+
+    def _after_reset(self, n: int) -> None:
+        self._velocities = np.zeros((n, 2))
+        self._pause_left = np.zeros(n)
+        self._turn(np.arange(n))
+
+    def _turn(self, idx: np.ndarray) -> None:
+        """Draw new headings for ``idx`` that point into the region."""
+        side = self.region.side
+        pos = self._positions[idx]
+        headings = self.rng.uniform(0.0, 2.0 * np.pi, size=len(idx))
+        speeds = self.rng.uniform(*self.speed_range, size=len(idx))
+        vel = self._headings_to_velocities(headings, speeds)
+        # Flip any component that would immediately leave the square.
+        at_low = pos <= 1e-12
+        at_high = pos >= side - 1e-12
+        vel[at_low & (vel < 0.0)] *= -1.0
+        vel[at_high & (vel > 0.0)] *= -1.0
+        self._velocities[idx] = vel
+
+    def _time_to_border(self, idx: np.ndarray) -> np.ndarray:
+        """Per-node time until the first coordinate hits the border."""
+        side = self.region.side
+        pos = self._positions[idx]
+        vel = self._velocities[idx]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            to_high = np.where(vel > 0.0, (side - pos) / vel, np.inf)
+            to_low = np.where(vel < 0.0, -pos / vel, np.inf)
+        return np.minimum(to_high, to_low).min(axis=1)
+
+    def _advance(self, dt: float) -> None:
+        remaining = np.full(self.n_nodes, dt)
+        while np.any(remaining > 1e-12):
+            active = remaining > 1e-12
+
+            pausing = active & (self._pause_left > 0.0)
+            if np.any(pausing):
+                spend = np.minimum(remaining[pausing], self._pause_left[pausing])
+                self._pause_left[pausing] -= spend
+                remaining[pausing] -= spend
+                just_done = np.flatnonzero(pausing)[
+                    self._pause_left[pausing] <= 1e-12
+                ]
+                if len(just_done):
+                    self._turn(just_done)
+                active = remaining > 1e-12
+
+            moving = active & (self._pause_left <= 0.0)
+            if not np.any(moving):
+                continue
+            idx = np.flatnonzero(moving)
+            border_in = self._time_to_border(idx)
+            step = np.minimum(remaining[idx], border_in)
+            self._positions[idx] += self._velocities[idx] * step[:, None]
+            np.clip(self._positions, 0.0, self.region.side, out=self._positions)
+            remaining[idx] -= step
+
+            hit = idx[step >= border_in - 1e-12]
+            if len(hit):
+                if self.pause > 0.0:
+                    self._pause_left[hit] = self.pause
+                else:
+                    self._turn(hit)

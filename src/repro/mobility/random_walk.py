@@ -1,0 +1,79 @@
+"""Random Walk (RW) mobility.
+
+The other "popular" model the paper names alongside RWP: each node
+repeatedly draws a uniform heading and a speed from ``[v_min, v_max]``,
+walks for a fixed interval, then redraws independently (no pauses, no
+destination).  Nodes reflect or wrap at the border according to the
+region's boundary rule; the classic formulation reflects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..spatial import Boundary
+from .base import MobilityModel
+
+__all__ = ["RandomWalkModel"]
+
+
+class RandomWalkModel(MobilityModel):
+    """Memoryless random walk with per-interval redraws.
+
+    Parameters
+    ----------
+    speed_range:
+        ``(v_min, v_max)`` speed bounds, ``0 <= v_min <= v_max``.
+    interval:
+        Duration of each walk leg before heading/speed are redrawn.
+        Unlike the paper's epoch-RWP variant, redraw clocks are *not*
+        synchronized across nodes: each node's clock starts at a random
+        phase, matching the classic model.
+    """
+
+    def __init__(self, speed_range: tuple[float, float], interval: float = 1.0) -> None:
+        super().__init__()
+        v_min, v_max = speed_range
+        if not 0.0 <= v_min <= v_max:
+            raise ValueError(
+                f"speed_range must satisfy 0 <= v_min <= v_max, got {speed_range}"
+            )
+        if interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.speed_range = (float(v_min), float(v_max))
+        self.interval = interval
+        self._velocities: np.ndarray | None = None
+        self._leg_left: np.ndarray | None = None
+
+    def _after_reset(self, n: int) -> None:
+        self._redraw(np.arange(n))
+        # Random initial phase so redraws are unsynchronized.
+        self._leg_left = self.rng.uniform(0.0, self.interval, size=n)
+
+    def _redraw(self, idx: np.ndarray) -> None:
+        headings = self.rng.uniform(0.0, 2.0 * np.pi, size=len(idx))
+        speeds = self.rng.uniform(*self.speed_range, size=len(idx))
+        velocities = self._headings_to_velocities(headings, speeds)
+        if self._velocities is None:
+            self._velocities = velocities
+        else:
+            self._velocities[idx] = velocities
+
+    def _advance(self, dt: float) -> None:
+        remaining = np.full(self.n_nodes, dt)
+        while np.any(remaining > 1e-12):
+            idx = np.flatnonzero(remaining > 1e-12)
+            step = np.minimum(remaining[idx], self._leg_left[idx])
+            raw = self._positions[idx] + self._velocities[idx] * step[:, None]
+            corrected, velocities = self.region.apply_boundary(
+                raw, self._velocities[idx]
+            )
+            self._positions[idx] = corrected
+            if self.region.boundary is Boundary.REFLECT:
+                self._velocities[idx] = velocities
+            self._leg_left[idx] -= step
+            remaining[idx] -= step
+            expired = idx[self._leg_left[idx] <= 1e-12]
+            if len(expired):
+                self._redraw(expired)
+                self._leg_left[expired] = self.interval

@@ -1,0 +1,165 @@
+"""Random Waypoint mobility: the classic model and the paper's variant.
+
+Two models live here:
+
+* :class:`EpochRandomWaypointModel` — the special RWP case the paper
+  simulates (Section 4): all nodes share one constant speed ``v``; at
+  every epoch boundary (period ``tau``) each node independently picks a
+  fresh uniform heading; nodes that hit the border wrap to the opposite
+  side (torus).  This variant matches BCV's uniform spatial distribution
+  and link change rate, which is why the paper validates against it.
+
+* :class:`RandomWaypointModel` — the standard RWP of the MANET
+  literature (Camp et al. survey): each node repeatedly picks a uniform
+  waypoint inside the square, travels to it at a speed drawn from
+  ``[v_min, v_max]``, pauses, and repeats.  Included because RWP is the
+  de-facto simulation default the paper contrasts its tractable models
+  against (non-uniform stationary distribution, speed decay when
+  ``v_min = 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import MobilityModel
+
+__all__ = ["EpochRandomWaypointModel", "RandomWaypointModel"]
+
+
+class EpochRandomWaypointModel(MobilityModel):
+    """The paper's Section 4 RWP variant (synchronized heading epochs).
+
+    Parameters
+    ----------
+    speed:
+        Common constant speed ``v`` of all nodes.
+    epoch:
+        Heading re-selection period ``tau > 0``.
+    """
+
+    def __init__(self, speed: float, epoch: float = 1.0) -> None:
+        super().__init__()
+        if speed < 0.0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        if epoch <= 0.0:
+            raise ValueError(f"epoch must be positive, got {epoch}")
+        self.speed = speed
+        self.epoch = epoch
+        self._velocities: np.ndarray | None = None
+        self._next_epoch: float = 0.0
+
+    def _after_reset(self, n: int) -> None:
+        self._next_epoch = 0.0
+        self._pick_headings(n)
+        self._next_epoch = self.epoch
+
+    def _pick_headings(self, n: int) -> None:
+        headings = self.rng.uniform(0.0, 2.0 * np.pi, size=n)
+        self._velocities = self._headings_to_velocities(
+            headings, np.full(n, self.speed)
+        )
+
+    def _advance(self, dt: float) -> None:
+        remaining = dt
+        now = self._time
+        while remaining > 0.0:
+            to_epoch = self._next_epoch - now
+            step = min(remaining, to_epoch) if to_epoch > 0.0 else remaining
+            raw = self._positions + self._velocities * step
+            self._positions, _ = self.region.apply_boundary(raw)
+            now += step
+            remaining -= step
+            if now >= self._next_epoch - 1e-12:
+                self._pick_headings(self.n_nodes)
+                self._next_epoch += self.epoch
+
+
+class RandomWaypointModel(MobilityModel):
+    """Classic Random Waypoint with uniform waypoints and optional pauses.
+
+    Parameters
+    ----------
+    speed_range:
+        ``(v_min, v_max)`` with ``0 < v_min <= v_max``.  A strictly
+        positive ``v_min`` avoids the well-known speed-decay pathology.
+    pause_range:
+        ``(p_min, p_max)`` pause duration bounds, both ``>= 0``.
+    """
+
+    def __init__(
+        self,
+        speed_range: tuple[float, float],
+        pause_range: tuple[float, float] = (0.0, 0.0),
+    ) -> None:
+        super().__init__()
+        v_min, v_max = speed_range
+        if not 0.0 < v_min <= v_max:
+            raise ValueError(
+                f"speed_range must satisfy 0 < v_min <= v_max, got {speed_range}"
+            )
+        p_min, p_max = pause_range
+        if not 0.0 <= p_min <= p_max:
+            raise ValueError(
+                f"pause_range must satisfy 0 <= p_min <= p_max, got {pause_range}"
+            )
+        self.speed_range = (float(v_min), float(v_max))
+        self.pause_range = (float(p_min), float(p_max))
+        self._targets: np.ndarray | None = None
+        self._speeds: np.ndarray | None = None
+        self._pause_left: np.ndarray | None = None
+
+    def _after_reset(self, n: int) -> None:
+        self._targets = self.region.uniform_positions(n, self.rng)
+        self._speeds = self.rng.uniform(*self.speed_range, size=n)
+        self._pause_left = np.zeros(n)
+
+    def _draw_pause(self, count: int) -> np.ndarray:
+        p_min, p_max = self.pause_range
+        if p_max == p_min:
+            return np.full(count, p_min)
+        return self.rng.uniform(p_min, p_max, size=count)
+
+    def _advance(self, dt: float) -> None:
+        # Per-node remaining time; legs (travel segments / pauses) are
+        # consumed until the step budget is exhausted.  The loop runs at
+        # most a handful of iterations for sane dt values.
+        remaining = np.full(self.n_nodes, dt)
+        while np.any(remaining > 1e-12):
+            active = remaining > 1e-12
+
+            # Spend pause time first.
+            pausing = active & (self._pause_left > 0.0)
+            if np.any(pausing):
+                spend = np.minimum(remaining[pausing], self._pause_left[pausing])
+                self._pause_left[pausing] -= spend
+                remaining[pausing] -= spend
+                active = remaining > 1e-12
+
+            moving = active & (self._pause_left <= 0.0)
+            if not np.any(moving):
+                continue
+            idx = np.flatnonzero(moving)
+            delta = self._targets[idx] - self._positions[idx]
+            dist = np.hypot(delta[:, 0], delta[:, 1])
+            speed = self._speeds[idx]
+            time_to_target = np.where(speed > 0.0, dist / speed, np.inf)
+            step = np.minimum(remaining[idx], time_to_target)
+
+            with np.errstate(invalid="ignore", divide="ignore"):
+                direction = np.where(
+                    dist[:, None] > 0.0, delta / dist[:, None], 0.0
+                )
+            self._positions[idx] += direction * (speed * step)[:, None]
+            remaining[idx] -= step
+
+            arrived = idx[step >= time_to_target - 1e-12]
+            if len(arrived):
+                self._positions[arrived] = self._targets[arrived]
+                self._targets[arrived] = self.region.uniform_positions(
+                    len(arrived), self.rng
+                )
+                self._speeds[arrived] = self.rng.uniform(
+                    *self.speed_range, size=len(arrived)
+                )
+                self._pause_left[arrived] = self._draw_pause(len(arrived))

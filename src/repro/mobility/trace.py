@@ -1,0 +1,114 @@
+"""Mobility trace recording and replay.
+
+A :class:`TraceRecorder` wraps any mobility model and captures the
+position matrix after every advance; a :class:`TraceReplayModel` plays a
+captured trace back as a mobility model of its own (with linear
+interpolation between frames).  Together they let experiments pin the
+exact same node trajectories across protocol variants — the standard
+technique for paired protocol comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..spatial import SquareRegion
+from .base import MobilityModel
+
+__all__ = ["MobilityTrace", "TraceRecorder", "TraceReplayModel"]
+
+
+@dataclass
+class MobilityTrace:
+    """A sequence of timestamped position snapshots."""
+
+    times: list[float] = field(default_factory=list)
+    frames: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, time: float, positions: np.ndarray) -> None:
+        """Record one snapshot (positions are copied)."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"trace times must be non-decreasing: {time} < {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.frames.append(np.array(positions, dtype=float, copy=True))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def n_nodes(self) -> int:
+        """Node count of the recorded frames."""
+        if not self.frames:
+            raise ValueError("empty trace has no node count")
+        return len(self.frames[0])
+
+    def positions_at(self, time: float) -> np.ndarray:
+        """Linearly interpolated positions at an arbitrary time.
+
+        Times outside the recorded span clamp to the first/last frame.
+        Interpolation is performed in raw coordinates, which is correct
+        for traces recorded from non-wrapping models; wrapped traces
+        interpolate through the interior (a documented limitation —
+        replay wrapped traces at their native frame times).
+        """
+        if not self.frames:
+            raise ValueError("cannot interpolate an empty trace")
+        times = np.asarray(self.times)
+        if time <= times[0]:
+            return self.frames[0].copy()
+        if time >= times[-1]:
+            return self.frames[-1].copy()
+        hi = int(np.searchsorted(times, time, side="right"))
+        lo = hi - 1
+        span = times[hi] - times[lo]
+        weight = 0.0 if span == 0.0 else (time - times[lo]) / span
+        return (1.0 - weight) * self.frames[lo] + weight * self.frames[hi]
+
+
+class TraceRecorder(MobilityModel):
+    """Wrap a model, recording every snapshot it produces."""
+
+    def __init__(self, inner: MobilityModel) -> None:
+        super().__init__()
+        self.inner = inner
+        self.trace = MobilityTrace()
+
+    def reset(self, n: int, region: SquareRegion, rng=None) -> np.ndarray:
+        positions = self.inner.reset(n, region, rng)
+        self._region = region
+        self._rng = self.inner._rng
+        self._time = 0.0
+        self._positions = np.array(positions, dtype=float, copy=True)
+        self.trace = MobilityTrace()
+        self.trace.append(0.0, positions)
+        return self.positions
+
+    def _advance(self, dt: float) -> None:
+        positions = self.inner.advance(dt)
+        self._positions = np.array(positions, dtype=float, copy=True)
+        self.trace.append(self._time + dt, positions)
+
+
+class TraceReplayModel(MobilityModel):
+    """Replay a recorded trace as a mobility model."""
+
+    def __init__(self, trace: MobilityTrace) -> None:
+        super().__init__()
+        if len(trace) == 0:
+            raise ValueError("cannot replay an empty trace")
+        self.trace = trace
+
+    def _initial_positions(self, n: int) -> np.ndarray:
+        if n != self.trace.n_nodes:
+            raise ValueError(
+                f"trace has {self.trace.n_nodes} nodes, requested {n}"
+            )
+        return self.trace.positions_at(self.trace.times[0])
+
+    def _advance(self, dt: float) -> None:
+        target_time = self.trace.times[0] + self._time + dt
+        self._positions = self.trace.positions_at(target_time)

@@ -1,0 +1,157 @@
+"""AODV-style flat reactive routing (Perkins & Royer).
+
+The second flat baseline: no proactive state at all; a route is
+discovered on demand by flooding a route request (RREQ) through the
+*whole* network — every reached node rebroadcasts once — and unicasting
+a route reply (RREP) back along the reverse path, installing hop state
+at each intermediate node.  Link breaks on active routes trigger route
+errors (RERR) that invalidate the affected entries upstream.
+
+Contrast with the hybrid protocol: there, only cluster-heads and
+gateways rebroadcast the flood.  The difference between the two RREQ
+transmission counts is precisely the flooding reduction the paper's
+introduction credits clustering with.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.engine import Protocol, Simulation
+from .messages import rerr_bits, rrep_bits, rreq_bits
+
+__all__ = ["AodvProtocol", "AodvRouteState"]
+
+
+@dataclass
+class AodvRouteState:
+    """Per-node forward entry of an active route."""
+
+    destination: int
+    next_hop: int
+    hops: int
+
+
+class AodvProtocol(Protocol):
+    """Flat on-demand routing with full-network RREQ floods."""
+
+    name = "aodv"
+
+    def __init__(self) -> None:
+        # routes[node][destination] -> AodvRouteState
+        self.routes: list[dict[int, AodvRouteState]] = []
+        self.discoveries = 0
+        self.cache_hits = 0
+
+    def on_attach(self, sim: Simulation) -> None:
+        self.routes = [{} for _ in range(sim.n_nodes)]
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def _flood(self, sim: Simulation, source: int, destination: int):
+        """BFS flood; returns (parents, rreq transmission count)."""
+        adjacency = sim.adjacency
+        parents: dict[int, int] = {source: source}
+        queue: deque[int] = deque([source])
+        transmissions = 0
+        while queue:
+            current = queue.popleft()
+            if current == destination:
+                continue  # the destination answers instead of forwarding
+            transmissions += 1
+            for neighbor in np.flatnonzero(adjacency[current]):
+                neighbor = int(neighbor)
+                if neighbor not in parents:
+                    parents[neighbor] = current
+                    queue.append(neighbor)
+        return parents, transmissions
+
+    def discover(self, sim: Simulation, source: int, destination: int) -> list[int] | None:
+        """Run one RREQ/RREP cycle; installs hop state and returns the path."""
+        if source == destination:
+            return [source]
+        parents, rreq_count = self._flood(sim, source, destination)
+        messages = sim.params.messages
+        self.discoveries += 1
+        if destination not in parents:
+            sim.stats.record("aodv", rreq_count, rreq_count * rreq_bits(messages))
+            return None
+
+        path = [destination]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        path.reverse()
+
+        rrep_count = len(path) - 1
+        sim.stats.record(
+            "aodv",
+            rreq_count + rrep_count,
+            rreq_count * rreq_bits(messages) + rrep_count * rrep_bits(messages),
+        )
+        # Install forward entries along the path (toward the destination)
+        # and reverse entries (toward the source), as the RREP does.
+        for position, node in enumerate(path[:-1]):
+            self.routes[node][destination] = AodvRouteState(
+                destination, path[position + 1], len(path) - 1 - position
+            )
+        for position, node in enumerate(path[1:], start=1):
+            self.routes[node][source] = AodvRouteState(
+                source, path[position - 1], position
+            )
+        return path
+
+    # ------------------------------------------------------------------
+    # Routing service
+    # ------------------------------------------------------------------
+    def route(self, sim: Simulation, source: int, destination: int) -> list[int] | None:
+        """Use installed state when valid, otherwise rediscover."""
+        path = self._follow(sim, source, destination)
+        if path is not None:
+            self.cache_hits += 1
+            return path
+        return self.discover(sim, source, destination)
+
+    def _follow(self, sim: Simulation, source: int, destination: int) -> list[int] | None:
+        if source == destination:
+            return [source]
+        path = [source]
+        current = source
+        for _ in range(sim.n_nodes):
+            entry = self.routes[current].get(destination)
+            if entry is None or not sim.has_link(current, entry.next_hop):
+                return None
+            path.append(entry.next_hop)
+            if entry.next_hop == destination:
+                return path
+            current = entry.next_hop
+        return None
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def on_link_down(self, sim: Simulation, u: int, v: int, time: float) -> None:
+        """Invalidate entries through the broken link and emit RERRs."""
+        rerr_count = 0
+        for node, gone in ((u, v), (v, u)):
+            dead = [
+                destination
+                for destination, entry in self.routes[node].items()
+                if entry.next_hop == gone
+            ]
+            for destination in dead:
+                del self.routes[node][destination]
+                rerr_count += 1
+        if rerr_count:
+            sim.stats.record(
+                "aodv_rerr", rerr_count, rerr_count * rerr_bits(sim.params.messages)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def installed_entries(self) -> int:
+        """Total forward entries currently installed network-wide."""
+        return sum(len(table) for table in self.routes)

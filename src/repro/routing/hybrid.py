@@ -1,0 +1,100 @@
+"""The hybrid routing protocol: proactive inside, reactive across.
+
+Combines :class:`~repro.routing.intra_cluster.IntraClusterRoutingProtocol`
+(proactive, paper Eqn 13 accounting) with backbone route discovery
+(:mod:`repro.routing.inter_cluster`) into a complete routing service:
+
+* same-cluster traffic is forwarded from the proactive tables at zero
+  marginal control cost;
+* cross-cluster traffic triggers a reactive discovery whose result is
+  cached and invalidated when one of its links breaks (with an RERR
+  notification per surviving upstream hop, AODV-style).
+
+``route(src, dst)`` returns the path actually usable for data delivery;
+experiments use the message statistics to compare the hybrid total
+against the flat baselines.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Protocol, Simulation
+from ..clustering.maintenance import ClusterMaintenanceProtocol
+from .inter_cluster import DiscoveryResult, discover_route
+from .intra_cluster import IntraClusterRoutingProtocol
+from .messages import rerr_bits
+
+__all__ = ["HybridRoutingProtocol"]
+
+
+class HybridRoutingProtocol(Protocol):
+    """Cluster-aware hybrid routing with route caching.
+
+    Parameters
+    ----------
+    maintenance:
+        The cluster maintenance protocol owning the cluster state.
+    intra:
+        The proactive intra-cluster protocol (attached separately to
+        the simulation; this class only consumes its tables).
+    """
+
+    name = "hybrid-routing"
+
+    def __init__(
+        self,
+        maintenance: ClusterMaintenanceProtocol,
+        intra: IntraClusterRoutingProtocol,
+    ) -> None:
+        self.maintenance = maintenance
+        self.intra = intra
+        self._cache: dict[tuple[int, int], list[int]] = {}
+        self.discoveries = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def route(self, sim: Simulation, source: int, destination: int) -> list[int] | None:
+        """Return a usable path, running a discovery if needed."""
+        if source == destination:
+            return [source]
+        state = self.maintenance.state
+        if state.same_cluster(source, destination):
+            return self.intra.path(sim, source, destination)
+
+        cached = self._cache.get((source, destination))
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+
+        result: DiscoveryResult = discover_route(sim, state, source, destination)
+        self.discoveries += 1
+        if not result.found:
+            return None
+        self._cache[(source, destination)] = result.path
+        return result.path
+
+    # ------------------------------------------------------------------
+    def on_link_down(self, sim: Simulation, u: int, v: int, time: float) -> None:
+        """Invalidate cached routes using the broken link, emitting RERRs."""
+        broken: list[tuple[int, int]] = []
+        for key, path in self._cache.items():
+            for a, b in zip(path, path[1:]):
+                if (a, b) in ((u, v), (v, u)):
+                    broken.append(key)
+                    break
+        for key in broken:
+            path = self._cache.pop(key)
+            # One RERR per upstream hop that must learn of the failure.
+            upstream = 0
+            for a, b in zip(path, path[1:]):
+                upstream += 1
+                if (a, b) in ((u, v), (v, u)):
+                    break
+            sim.stats.record(
+                "route_error", upstream, upstream * rerr_bits(sim.params.messages)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def cached_routes(self) -> int:
+        """Number of currently cached cross-cluster routes."""
+        return len(self._cache)

@@ -1,0 +1,69 @@
+"""Control message descriptors for the routing layer.
+
+The paper models control traffic at message granularity: what matters
+for the overhead analysis is *how many* control transmissions occur and
+*how many bits* each carries.  These descriptors standardize the bit
+accounting across protocols:
+
+* ROUTE updates carry ``entries * p_route`` bits (``p_route`` is the
+  size of one routing table entry, per the paper).
+* Reactive control packets (RREQ/RREP/RERR) are modelled as one routing
+  entry each — they carry a single (destination, originator, metric)
+  tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import MessageSizes
+
+__all__ = [
+    "RouteEntry",
+    "route_update_bits",
+    "rreq_bits",
+    "rrep_bits",
+    "rerr_bits",
+]
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One distance-vector routing table entry.
+
+    ``sequence`` follows DSDV semantics: even numbers are emitted by the
+    destination itself; an odd number marks an infinite-metric (broken)
+    route advertised by an intermediate node.
+    """
+
+    destination: int
+    next_hop: int
+    metric: float
+    sequence: int = 0
+
+    @property
+    def reachable(self) -> bool:
+        """Whether the entry denotes a usable route."""
+        return self.metric != float("inf")
+
+
+def route_update_bits(messages: MessageSizes, entries: int) -> float:
+    """Bits of a routing update carrying ``entries`` table entries."""
+    if entries < 0:
+        raise ValueError(f"entry count must be non-negative, got {entries}")
+    return messages.p_route * entries
+
+
+def rreq_bits(messages: MessageSizes) -> float:
+    """Bits of a route request broadcast."""
+    return messages.p_route
+
+
+def rrep_bits(messages: MessageSizes) -> float:
+    """Bits of a route reply unicast."""
+    return messages.p_route
+
+
+def rerr_bits(messages: MessageSizes) -> float:
+    """Bits of a route error notification."""
+    return messages.p_route

@@ -1,0 +1,283 @@
+"""Declarative scenario runner.
+
+A *scenario* is a JSON-serializable description of one complete
+simulation — network parameters, mobility model, clustering algorithm,
+routing stack, HELLO mode, data-plane flows, and run lengths — that the
+runner turns into an assembled protocol stack, executes, and summarizes.
+This is the adoption surface for users who want results without writing
+orchestration code::
+
+    repro-manet simulate scenario.json
+
+Example scenario::
+
+    {
+      "name": "campus",
+      "n_nodes": 200,
+      "range_fraction": 0.15,
+      "velocity_fraction": 0.05,
+      "mobility": {"model": "epoch-rwp", "epoch": 1.0},
+      "clustering": {"algorithm": "lid"},
+      "routing": "hybrid",
+      "hello": {"mode": "event"},
+      "duration": 20.0,
+      "warmup": 2.0,
+      "seed": 0,
+      "flows": [{"source": 0, "destination": 10, "interval": 0.5}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from .clustering import (
+    ClusterMaintenanceProtocol,
+    DmacClustering,
+    HighestConnectivityClustering,
+    LowestIdClustering,
+)
+from .core.params import MessageSizes, NetworkParameters
+from .mobility import (
+    ConstantVelocityModel,
+    EpochRandomWaypointModel,
+    GaussMarkovModel,
+    ManhattanModel,
+    RandomDirectionModel,
+    RandomWalkModel,
+    RandomWaypointModel,
+)
+from .routing import (
+    AodvProtocol,
+    DsdvProtocol,
+    HybridRoutingProtocol,
+    IntraClusterRoutingProtocol,
+)
+from .sim import (
+    AodvRouterAdapter,
+    CbrFlow,
+    DsdvRouterAdapter,
+    HelloProtocol,
+    HybridRouterAdapter,
+    Simulation,
+    TrafficProtocol,
+)
+from .spatial import Boundary
+
+__all__ = ["ScenarioConfig", "ScenarioReport", "run_scenario", "load_scenario"]
+
+_CLUSTERING_ALGORITHMS = {
+    "lid": LowestIdClustering,
+    "hcc": HighestConnectivityClustering,
+    "dmac": DmacClustering,
+}
+
+_ROUTING_STACKS = ("hybrid", "dsdv", "aodv", "none")
+
+
+def _build_mobility(spec: dict, velocity: float):
+    """Instantiate a mobility model from its scenario spec."""
+    spec = dict(spec)
+    model = spec.pop("model", "epoch-rwp")
+    half, x1_5 = 0.5 * velocity, 1.5 * velocity
+    if model == "cv":
+        return ConstantVelocityModel(velocity)
+    if model == "epoch-rwp":
+        return EpochRandomWaypointModel(velocity, epoch=spec.get("epoch", 1.0))
+    if model == "rwp":
+        return RandomWaypointModel(
+            (spec.get("v_min", half), spec.get("v_max", x1_5)),
+            (spec.get("pause_min", 0.0), spec.get("pause_max", 0.0)),
+        )
+    if model == "walk":
+        return RandomWalkModel(
+            (spec.get("v_min", half), spec.get("v_max", x1_5)),
+            interval=spec.get("interval", 1.0),
+        )
+    if model == "direction":
+        return RandomDirectionModel(
+            (spec.get("v_min", half), spec.get("v_max", x1_5)),
+            pause=spec.get("pause", 0.0),
+        )
+    if model == "gauss-markov":
+        return GaussMarkovModel(velocity, alpha=spec.get("alpha", 0.75))
+    if model == "manhattan":
+        return ManhattanModel(
+            (spec.get("v_min", half), spec.get("v_max", x1_5)),
+            blocks=spec.get("blocks", 5),
+        )
+    raise ValueError(f"unknown mobility model {model!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Validated scenario description."""
+
+    name: str
+    n_nodes: int
+    range_fraction: float
+    velocity_fraction: float
+    mobility: dict = field(default_factory=lambda: {"model": "epoch-rwp"})
+    clustering: dict = field(default_factory=lambda: {"algorithm": "lid"})
+    routing: str = "hybrid"
+    hello: dict = field(default_factory=lambda: {"mode": "event"})
+    boundary: str = "torus"
+    duration: float = 20.0
+    warmup: float = 2.0
+    seed: int = 0
+    flows: list = field(default_factory=list)
+    messages: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.routing not in _ROUTING_STACKS:
+            raise ValueError(
+                f"routing must be one of {_ROUTING_STACKS}, got {self.routing!r}"
+            )
+        algorithm = self.clustering.get("algorithm", "lid")
+        if algorithm not in _CLUSTERING_ALGORITHMS:
+            raise ValueError(
+                f"clustering.algorithm must be one of "
+                f"{tuple(_CLUSTERING_ALGORITHMS)}, got {algorithm!r}"
+            )
+        if self.duration <= 0.0 or self.warmup < 0.0:
+            raise ValueError("duration must be positive, warmup non-negative")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        """Build (and validate) a config from parsed JSON."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
+        return cls(**data)
+
+    def network_parameters(self) -> NetworkParameters:
+        """The derived :class:`NetworkParameters`."""
+        messages = MessageSizes(**self.messages) if self.messages else None
+        return NetworkParameters.from_fractions(
+            n_nodes=self.n_nodes,
+            range_fraction=self.range_fraction,
+            velocity_fraction=self.velocity_fraction,
+            messages=messages,
+        )
+
+
+@dataclass
+class ScenarioReport:
+    """Everything one scenario run produced."""
+
+    name: str
+    frequencies: dict[str, float]
+    overheads: dict[str, float]
+    total_overhead: float
+    head_ratio: float | None
+    cluster_count: int | None
+    traffic: dict[str, float] | None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view."""
+        return asdict(self)
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"scenario: {self.name}"]
+        for category in sorted(self.frequencies):
+            lines.append(
+                f"  {category:16s} {self.frequencies[category]:10.4g} msg/node/t"
+                f"  {self.overheads[category]:12.4g} bits/node/t"
+            )
+        lines.append(f"  {'total overhead':16s} {self.total_overhead:23.4g} bits/node/t")
+        if self.head_ratio is not None:
+            lines.append(
+                f"  clusters: {self.cluster_count}  (P = {self.head_ratio:.4f})"
+            )
+        if self.traffic is not None:
+            lines.append(
+                "  traffic: delivery {delivery:.2%}, latency {latency:.3g}, "
+                "hops {hops:.3g} ({delivered}/{generated} delivered)".format(
+                    **self.traffic
+                )
+            )
+        return "\n".join(lines)
+
+
+def load_scenario(path) -> ScenarioConfig:
+    """Load a scenario JSON file."""
+    data = json.loads(Path(path).read_text())
+    return ScenarioConfig.from_dict(data)
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioReport:
+    """Assemble the stack described by ``config``, run it, summarize."""
+    params = config.network_parameters()
+    mobility = _build_mobility(config.mobility, params.velocity)
+    sim = Simulation(
+        params, mobility, boundary=Boundary(config.boundary), seed=config.seed
+    )
+
+    maintenance = None
+    router_adapter = None
+    needs_clustering = config.routing == "hybrid"
+    hello_mode = config.hello.get("mode", "event")
+    if config.routing in ("hybrid", "aodv") or config.routing == "none":
+        sim.attach(
+            HelloProtocol(
+                hello_mode, interval=config.hello.get("interval", 1.0)
+            )
+        )
+    if needs_clustering or config.routing == "none":
+        algorithm_spec = dict(config.clustering)
+        algorithm_name = algorithm_spec.pop("algorithm", "lid")
+        algorithm = _CLUSTERING_ALGORITHMS[algorithm_name](**algorithm_spec)
+        maintenance = ClusterMaintenanceProtocol(algorithm)
+    if config.routing == "hybrid":
+        intra = IntraClusterRoutingProtocol(maintenance)
+        sim.attach(intra)
+        sim.attach(maintenance)
+        hybrid = sim.attach(HybridRoutingProtocol(maintenance, intra))
+        router_adapter = HybridRouterAdapter(hybrid)
+    elif config.routing == "dsdv":
+        dsdv = sim.attach(DsdvProtocol())
+        router_adapter = DsdvRouterAdapter(dsdv)
+    elif config.routing == "aodv":
+        aodv = sim.attach(AodvProtocol())
+        router_adapter = AodvRouterAdapter(aodv)
+    else:  # "none": clustering only
+        sim.attach(maintenance)
+
+    traffic_protocol = None
+    if config.flows:
+        if router_adapter is None:
+            raise ValueError(
+                "scenario declares flows but routing is 'none'"
+            )
+        flows = [CbrFlow(**flow) for flow in config.flows]
+        traffic_protocol = sim.attach(
+            TrafficProtocol(flows, router_adapter)
+        )
+
+    stats = sim.run(duration=config.duration, warmup=config.warmup)
+
+    traffic_summary = None
+    if traffic_protocol is not None:
+        outcome = traffic_protocol.traffic
+        traffic_summary = {
+            "generated": outcome.generated,
+            "delivered": outcome.delivered,
+            "dropped": outcome.dropped,
+            "delivery": outcome.delivery_ratio(),
+            "latency": outcome.mean_latency(),
+            "hops": outcome.mean_hops(),
+        }
+
+    return ScenarioReport(
+        name=config.name,
+        frequencies=stats.frequencies(),
+        overheads=stats.overheads(),
+        total_overhead=stats.total_overhead(),
+        head_ratio=maintenance.head_ratio() if maintenance else None,
+        cluster_count=maintenance.cluster_count() if maintenance else None,
+        traffic=traffic_summary,
+    )

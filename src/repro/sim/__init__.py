@@ -1,0 +1,33 @@
+"""Time-stepped MANET simulator (the GloMoSim substitute)."""
+
+from .engine import Protocol, Simulation, recommended_step
+from .beacon import HelloProtocol
+from .stats import CategoryTotals, MessageStats, RateSeries
+from .traffic import (
+    AodvRouterAdapter,
+    CbrFlow,
+    DsdvRouterAdapter,
+    HybridRouterAdapter,
+    NextHopRouter,
+    Packet,
+    TrafficProtocol,
+    TrafficStats,
+)
+
+__all__ = [
+    "Protocol",
+    "Simulation",
+    "recommended_step",
+    "HelloProtocol",
+    "CategoryTotals",
+    "MessageStats",
+    "RateSeries",
+    "AodvRouterAdapter",
+    "CbrFlow",
+    "DsdvRouterAdapter",
+    "HybridRouterAdapter",
+    "NextHopRouter",
+    "Packet",
+    "TrafficProtocol",
+    "TrafficStats",
+]

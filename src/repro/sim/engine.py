@@ -1,0 +1,241 @@
+"""Time-stepped MANET simulation kernel.
+
+The paper validated its analysis with GloMoSim; this kernel is the
+Python substitute (see DESIGN.md, substitutions).  It advances a
+mobility model in fixed steps, maintains the exact unit-disk
+connectivity after every step, diffs consecutive adjacencies into link
+generation/break events, and delivers those events — in deterministic
+order — to attached protocols (HELLO beaconing, clustering maintenance,
+routing).  Message accounting flows into a shared
+:class:`~repro.sim.stats.MessageStats`.
+
+The step size must be small enough that a link is unlikely to appear
+*and* disappear within one step; :func:`recommended_step` provides the
+standard choice (a small fraction of ``r / v``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.params import NetworkParameters
+from ..mobility.base import MobilityModel
+from ..spatial import (
+    Boundary,
+    LinkEvents,
+    SquareRegion,
+    UniformGridIndex,
+    compute_adjacency,
+    diff_adjacency,
+)
+from .stats import MessageStats
+
+__all__ = ["Protocol", "Simulation", "recommended_step"]
+
+
+def recommended_step(tx_range: float, velocity: float, fraction: float = 0.05) -> float:
+    """Step size so nodes move at most ``fraction * r`` per step.
+
+    Relative node speed is at most ``2 v``, so ``dt = fraction * r / (2 v)``
+    keeps per-step link-state churn well below one event per pair.
+    Returns a default of 0.1 for static networks.
+    """
+    if tx_range <= 0.0:
+        raise ValueError(f"tx_range must be positive, got {tx_range}")
+    if velocity <= 0.0:
+        return 0.1
+    return fraction * tx_range / (2.0 * velocity)
+
+
+class Protocol:
+    """Base class for everything the simulation drives.
+
+    Subclasses override the hooks they need.  Hook order per step:
+    ``on_step_begin`` → link events (``on_link_up`` / ``on_link_down``,
+    interleaved in deterministic pair order) → ``on_step_end``.
+    """
+
+    name: str = "protocol"
+
+    def on_attach(self, sim: "Simulation") -> None:
+        """Called once when attached, after the simulation is initialized."""
+
+    def on_step_begin(self, sim: "Simulation", time: float) -> None:
+        """Called after mobility advanced, before link events are delivered."""
+
+    def on_link_up(self, sim: "Simulation", u: int, v: int, time: float) -> None:
+        """A link appeared between nodes ``u`` and ``v`` (``u < v``)."""
+
+    def on_link_down(self, sim: "Simulation", u: int, v: int, time: float) -> None:
+        """A link disappeared between nodes ``u`` and ``v`` (``u < v``)."""
+
+    def on_step_end(self, sim: "Simulation", time: float) -> None:
+        """Called after all link events of the step were delivered."""
+
+
+class Simulation:
+    """Synchronous time-stepped simulation of ``N`` mobile nodes.
+
+    Parameters
+    ----------
+    params:
+        Network parameters (node count, density/side, range, speed,
+        message sizes).  The region side is derived from them.
+    mobility:
+        A mobility model instance; it is reset by the constructor.
+    boundary:
+        Region boundary rule; the paper's simulations wrap (torus).
+    dt:
+        Step size; defaults to :func:`recommended_step`.
+    seed:
+        Seed for mobility and any protocol randomness.
+    """
+
+    def __init__(
+        self,
+        params: NetworkParameters,
+        mobility: MobilityModel,
+        boundary: Boundary = Boundary.TORUS,
+        dt: float | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        self.params = params
+        self.region = SquareRegion(params.side, boundary)
+        self.mobility = mobility
+        self.dt = dt if dt is not None else recommended_step(
+            params.tx_range, params.velocity
+        )
+        if self.dt <= 0.0:
+            raise ValueError(f"dt must be positive, got {self.dt}")
+        self.rng = np.random.default_rng(seed)
+        self.stats = MessageStats(params.n_nodes)
+        self.time = 0.0
+        self._protocols: list[Protocol] = []
+
+        self.mobility.reset(params.n_nodes, self.region, seed)
+        self._index: UniformGridIndex | None = None
+        if params.tx_range * 4.0 < self.region.side and params.n_nodes > 400:
+            self._index = UniformGridIndex(self.region, params.tx_range)
+        #: Radio state per node; failed nodes keep moving but hold no links.
+        self.active = np.ones(params.n_nodes, dtype=bool)
+        self.adjacency = compute_adjacency(
+            self.region, self.mobility.positions, params.tx_range, self._index
+        )
+
+    # ------------------------------------------------------------------
+    # Topology accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the simulation."""
+        return self.params.n_nodes
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Current node positions."""
+        return self.mobility.positions
+
+    def neighbors_of(self, node: int) -> np.ndarray:
+        """Current neighbor indices of ``node`` from the live adjacency."""
+        return np.flatnonzero(self.adjacency[node])
+
+    def degree_of(self, node: int) -> int:
+        """Current degree of ``node``."""
+        return int(self.adjacency[node].sum())
+
+    def has_link(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` are currently connected."""
+        return bool(self.adjacency[u, v])
+
+    # ------------------------------------------------------------------
+    # Protocol management
+    # ------------------------------------------------------------------
+    def attach(self, protocol: Protocol) -> Protocol:
+        """Attach a protocol; returns it for chaining."""
+        self._protocols.append(protocol)
+        protocol.on_attach(self)
+        return protocol
+
+    @property
+    def protocols(self) -> tuple[Protocol, ...]:
+        """Attached protocols in delivery order."""
+        return tuple(self._protocols)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_node(self, node: int) -> None:
+        """Crash ``node``'s radio: all its links break at the next step.
+
+        The node keeps moving (a dead radio does not stop the vehicle);
+        attached protocols observe ordinary link-down events, so no
+        special crash handling is required of them.
+        """
+        self.active[node] = False
+
+    def recover_node(self, node: int) -> None:
+        """Bring ``node``'s radio back; links re-form at the next step."""
+        self.active[node] = True
+
+    @property
+    def failed_nodes(self) -> np.ndarray:
+        """Indices of currently failed nodes."""
+        return np.flatnonzero(~self.active)
+
+    def _mask_failed(self, adjacency: np.ndarray) -> np.ndarray:
+        if self.active.all():
+            return adjacency
+        adjacency = adjacency.copy()
+        adjacency[~self.active, :] = False
+        adjacency[:, ~self.active] = False
+        return adjacency
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def step(self) -> LinkEvents:
+        """Advance one step and deliver link events; returns the events."""
+        positions = self.mobility.advance(self.dt)
+        new_adjacency = self._mask_failed(
+            compute_adjacency(
+                self.region, positions, self.params.tx_range, self._index
+            )
+        )
+        events = diff_adjacency(self.adjacency, new_adjacency)
+        self.adjacency = new_adjacency
+        self.time += self.dt
+        self.stats.advance_time(self.dt)
+
+        for protocol in self._protocols:
+            protocol.on_step_begin(self, self.time)
+        for u, v in events.broken:
+            for protocol in self._protocols:
+                protocol.on_link_down(self, int(u), int(v), self.time)
+        for u, v in events.generated:
+            for protocol in self._protocols:
+                protocol.on_link_up(self, int(u), int(v), self.time)
+        for protocol in self._protocols:
+            protocol.on_step_end(self, self.time)
+        return events
+
+    def run(self, duration: float, warmup: float = 0.0) -> MessageStats:
+        """Run ``warmup`` unmeasured time then ``duration`` measured time.
+
+        Warm-up lets the cluster structure reach steady state so that —
+        as in the paper — only the *maintenance* stage is measured.
+        Returns the statistics object.
+        """
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if warmup < 0.0:
+            raise ValueError(f"warmup must be non-negative, got {warmup}")
+        warmup_steps = int(round(warmup / self.dt))
+        measured_steps = max(1, int(round(duration / self.dt)))
+        self.stats.stop_measuring()
+        for _ in range(warmup_steps):
+            self.step()
+        self.stats.start_measuring()
+        for _ in range(measured_steps):
+            self.step()
+        self.stats.stop_measuring()
+        return self.stats

@@ -1,0 +1,178 @@
+"""Control-message accounting for simulations.
+
+The paper's evaluation counts three categories of control messages —
+HELLO, CLUSTER and ROUTE — and reports *per-node frequencies* (messages
+per node per unit time, Figures 1–3) and *overheads* (bits per node per
+unit time).  :class:`MessageStats` is the single accounting point every
+protocol records into; it supports a warm-up barrier so transient
+cluster-formation traffic is excluded, exactly as the paper excludes the
+initial cluster formation stage.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["MessageStats", "CategoryTotals"]
+
+
+@dataclass
+class CategoryTotals:
+    """Message count and bit total for one message category."""
+
+    messages: int = 0
+    bits: float = 0.0
+
+
+@dataclass
+class MessageStats:
+    """Per-category message counters over a measurement window.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes, for per-node normalization.
+    """
+
+    n_nodes: int
+    totals: dict[str, CategoryTotals] = field(
+        default_factory=lambda: defaultdict(CategoryTotals)
+    )
+    measured_time: float = 0.0
+    _measuring: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+
+    # ------------------------------------------------------------------
+    # Measurement window control
+    # ------------------------------------------------------------------
+    def start_measuring(self) -> None:
+        """Open the measurement window (end of warm-up)."""
+        self._measuring = True
+
+    def stop_measuring(self) -> None:
+        """Close the measurement window."""
+        self._measuring = False
+
+    @property
+    def measuring(self) -> bool:
+        """Whether records are currently being counted."""
+        return self._measuring
+
+    def advance_time(self, dt: float) -> None:
+        """Accumulate measured wall-clock (simulated) time."""
+        if dt < 0.0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        if self._measuring:
+            self.measured_time += dt
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, category: str, messages: int = 1, bits: float = 0.0) -> None:
+        """Record ``messages`` transmissions totalling ``bits`` bits.
+
+        Records outside the measurement window are dropped (warm-up).
+        """
+        if messages < 0 or bits < 0.0:
+            raise ValueError("message and bit counts must be non-negative")
+        if not self._measuring:
+            return
+        entry = self.totals[category]
+        entry.messages += messages
+        entry.bits += bits
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def message_count(self, category: str) -> int:
+        """Total messages recorded in ``category``."""
+        return self.totals[category].messages
+
+    def bit_count(self, category: str) -> float:
+        """Total bits recorded in ``category``."""
+        return self.totals[category].bits
+
+    def per_node_frequency(self, category: str) -> float:
+        """Messages per node per unit time — the paper's ``f_*`` metrics."""
+        if self.measured_time <= 0.0:
+            raise ValueError("no measured time accumulated yet")
+        return self.totals[category].messages / (self.n_nodes * self.measured_time)
+
+    def per_node_overhead(self, category: str) -> float:
+        """Bits per node per unit time — the paper's ``O_*`` metrics."""
+        if self.measured_time <= 0.0:
+            raise ValueError("no measured time accumulated yet")
+        return self.totals[category].bits / (self.n_nodes * self.measured_time)
+
+    def frequencies(self) -> dict[str, float]:
+        """Per-node frequencies of all recorded categories."""
+        return {
+            category: self.per_node_frequency(category)
+            for category in sorted(self.totals)
+        }
+
+    def overheads(self) -> dict[str, float]:
+        """Per-node overheads of all recorded categories."""
+        return {
+            category: self.per_node_overhead(category)
+            for category in sorted(self.totals)
+        }
+
+    def total_overhead(self) -> float:
+        """Summed per-node overhead across every category."""
+        return sum(self.overheads().values())
+
+
+@dataclass
+class RateSeries:
+    """Windowed per-node message-rate time series for one category.
+
+    Attach to a simulation loop by calling :meth:`sample` once per step
+    (or less often); each completed window of ``window`` simulated time
+    yields one rate sample.  Used to observe convergence/steady-state
+    of control traffic instead of a single end-of-run average.
+    """
+
+    stats: MessageStats
+    category: str
+    window: float
+    times: list[float] = field(default_factory=list)
+    rates: list[float] = field(default_factory=list)
+    _window_start_time: float = 0.0
+    _window_start_count: int = 0
+    _started: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window <= 0.0:
+            raise ValueError(f"window must be positive, got {self.window}")
+
+    def sample(self, time: float) -> None:
+        """Record a sample boundary if a full window has elapsed."""
+        if not self._started:
+            self._window_start_time = time
+            self._window_start_count = self.stats.message_count(self.category)
+            self._started = True
+            return
+        elapsed = time - self._window_start_time
+        if elapsed + 1e-12 < self.window:
+            return
+        count = self.stats.message_count(self.category)
+        rate = (count - self._window_start_count) / (
+            self.stats.n_nodes * elapsed
+        )
+        self.times.append(time)
+        self.rates.append(rate)
+        self._window_start_time = time
+        self._window_start_count = count
+
+    def steady_state_rate(self, skip_fraction: float = 0.25) -> float:
+        """Mean rate after discarding the first ``skip_fraction`` windows."""
+        if not self.rates:
+            raise ValueError("no completed windows yet")
+        skip = int(len(self.rates) * skip_fraction)
+        tail = self.rates[skip:] or self.rates
+        return float(sum(tail) / len(tail))

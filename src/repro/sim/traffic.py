@@ -1,0 +1,233 @@
+"""Packet-level data plane: traffic generation and hop-by-hop forwarding.
+
+The paper evaluates the *control* plane only; this module adds the data
+plane a downstream user needs to study what the control overhead buys:
+constant-bit-rate flows are injected between node pairs, packets move
+one hop per simulation step (modelling a per-hop transmission slot),
+and delivery ratio / end-to-end latency / path stretch are recorded.
+
+Routing is abstracted behind :class:`NextHopRouter`, with adapters for
+the three protocol stacks in :mod:`repro.routing`, so identical traffic
+can be replayed against each of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .engine import Protocol, Simulation
+
+__all__ = [
+    "Packet",
+    "TrafficStats",
+    "NextHopRouter",
+    "HybridRouterAdapter",
+    "DsdvRouterAdapter",
+    "AodvRouterAdapter",
+    "CbrFlow",
+    "TrafficProtocol",
+]
+
+
+@dataclass
+class Packet:
+    """One data packet in flight."""
+
+    packet_id: int
+    source: int
+    destination: int
+    created: float
+    current: int
+    hops: int = 0
+
+    @property
+    def at_destination(self) -> bool:
+        """Whether the packet has reached its destination."""
+        return self.current == self.destination
+
+
+@dataclass
+class TrafficStats:
+    """Aggregate data-plane outcomes."""
+
+    generated: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    latencies: list[float] = field(default_factory=list)
+    hop_counts: list[int] = field(default_factory=list)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets neither delivered nor dropped yet."""
+        return self.generated - self.delivered - self.dropped
+
+    def delivery_ratio(self) -> float:
+        """Delivered / completed (delivered + dropped)."""
+        completed = self.delivered + self.dropped
+        if completed == 0:
+            return float("nan")
+        return self.delivered / completed
+
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency of delivered packets (sim time)."""
+        if not self.latencies:
+            return float("nan")
+        return float(np.mean(self.latencies))
+
+    def mean_hops(self) -> float:
+        """Mean hop count of delivered packets."""
+        if not self.hop_counts:
+            return float("nan")
+        return float(np.mean(self.hop_counts))
+
+
+class NextHopRouter(abc.ABC):
+    """Adapter interface: one forwarding decision at a time."""
+
+    @abc.abstractmethod
+    def next_hop(self, sim: Simulation, node: int, destination: int) -> int | None:
+        """The neighbor ``node`` forwards toward ``destination``, or None."""
+
+
+class HybridRouterAdapter(NextHopRouter):
+    """Forwarding through the clustered hybrid protocol."""
+
+    def __init__(self, hybrid) -> None:
+        self.hybrid = hybrid
+
+    def next_hop(self, sim: Simulation, node: int, destination: int) -> int | None:
+        path = self.hybrid.route(sim, node, destination)
+        if path is None or len(path) < 2:
+            return None
+        return path[1]
+
+
+class DsdvRouterAdapter(NextHopRouter):
+    """Forwarding from DSDV tables."""
+
+    def __init__(self, dsdv) -> None:
+        self.dsdv = dsdv
+
+    def next_hop(self, sim: Simulation, node: int, destination: int) -> int | None:
+        hop = self.dsdv.next_hop(node, destination)
+        if hop is None or not sim.has_link(node, hop):
+            return None
+        return hop
+
+
+class AodvRouterAdapter(NextHopRouter):
+    """Forwarding from AODV route state, rediscovering on demand."""
+
+    def __init__(self, aodv) -> None:
+        self.aodv = aodv
+
+    def next_hop(self, sim: Simulation, node: int, destination: int) -> int | None:
+        path = self.aodv.route(sim, node, destination)
+        if path is None or len(path) < 2:
+            return None
+        return path[1]
+
+
+@dataclass(frozen=True)
+class CbrFlow:
+    """A constant-bit-rate flow: one packet every ``interval`` time units."""
+
+    source: int
+    destination: int
+    interval: float
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("flow endpoints must differ")
+        if self.interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.start < 0.0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+
+
+class TrafficProtocol(Protocol):
+    """Injects CBR flows and forwards packets one hop per step.
+
+    Parameters
+    ----------
+    flows:
+        The constant-bit-rate flows to run.
+    router:
+        Forwarding decisions.
+    max_hops:
+        TTL: packets exceeding this hop count are dropped (guards
+        against forwarding loops in stale tables).
+    """
+
+    name = "traffic"
+
+    def __init__(
+        self,
+        flows: list[CbrFlow],
+        router: NextHopRouter,
+        max_hops: int = 64,
+    ) -> None:
+        if max_hops < 1:
+            raise ValueError(f"max_hops must be positive, got {max_hops}")
+        self.flows = list(flows)
+        self.router = router
+        self.max_hops = max_hops
+        self.traffic = TrafficStats()
+        self._in_flight: list[Packet] = []
+        self._next_emission: list[float] = [
+            max(flow.start, 0.0) for flow in self.flows
+        ]
+        self._next_packet_id = 0
+
+    # ------------------------------------------------------------------
+    def _emit_due_packets(self, time: float) -> None:
+        for index, flow in enumerate(self.flows):
+            while self._next_emission[index] <= time:
+                self._in_flight.append(
+                    Packet(
+                        packet_id=self._next_packet_id,
+                        source=flow.source,
+                        destination=flow.destination,
+                        created=self._next_emission[index],
+                        current=flow.source,
+                    )
+                )
+                self._next_packet_id += 1
+                self.traffic.generated += 1
+                self._next_emission[index] += flow.interval
+
+    def _forward_packets(self, sim: Simulation, time: float) -> None:
+        survivors: list[Packet] = []
+        for packet in self._in_flight:
+            hop = self.router.next_hop(sim, packet.current, packet.destination)
+            if hop is None:
+                self.traffic.dropped += 1
+                continue
+            if not sim.has_link(packet.current, hop):
+                self.traffic.dropped += 1
+                continue
+            packet.current = hop
+            packet.hops += 1
+            if packet.at_destination:
+                self.traffic.delivered += 1
+                self.traffic.latencies.append(time - packet.created)
+                self.traffic.hop_counts.append(packet.hops)
+            elif packet.hops >= self.max_hops:
+                self.traffic.dropped += 1
+            else:
+                survivors.append(packet)
+        self._in_flight = survivors
+
+    def on_step_end(self, sim: Simulation, time: float) -> None:
+        self._emit_due_packets(time)
+        self._forward_packets(sim, time)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight_count(self) -> int:
+        """Packets currently traversing the network."""
+        return len(self._in_flight)

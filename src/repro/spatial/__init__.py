@@ -1,0 +1,15 @@
+"""Spatial substrate: square regions, metrics and neighbor indexing."""
+
+from .region import Boundary, SquareRegion
+from .grid_index import UniformGridIndex
+from .neighbors import LinkEvents, compute_adjacency, degree_counts, diff_adjacency
+
+__all__ = [
+    "Boundary",
+    "SquareRegion",
+    "UniformGridIndex",
+    "LinkEvents",
+    "compute_adjacency",
+    "degree_counts",
+    "diff_adjacency",
+]

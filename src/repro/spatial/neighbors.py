@@ -1,0 +1,100 @@
+"""Neighbor-set computation and link-event extraction.
+
+The simulator's core loop needs two operations: compute the unit-disk
+adjacency of the current node positions, and diff two consecutive
+adjacencies into link *generation* and *break* events (the event stream
+that drives HELLO, CLUSTER and ROUTE accounting).  Both are provided
+here over either the dense metric or the grid index, chosen by a simple
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .grid_index import UniformGridIndex
+from .region import SquareRegion
+
+__all__ = ["LinkEvents", "compute_adjacency", "diff_adjacency", "degree_counts"]
+
+#: Above this node count the grid index beats the dense matrix when the
+#: range is small relative to the side; below it the dense path wins.
+_DENSE_NODE_LIMIT = 700
+
+
+@dataclass(frozen=True)
+class LinkEvents:
+    """Link changes between two consecutive adjacency snapshots.
+
+    ``generated`` and ``broken`` are ``(E, 2)`` arrays of node index
+    pairs with ``i < j``, lexicographically sorted.
+    """
+
+    generated: np.ndarray
+    broken: np.ndarray
+
+    @property
+    def generation_count(self) -> int:
+        """Number of links that appeared."""
+        return len(self.generated)
+
+    @property
+    def break_count(self) -> int:
+        """Number of links that disappeared."""
+        return len(self.broken)
+
+    @property
+    def change_count(self) -> int:
+        """Total number of link changes."""
+        return self.generation_count + self.break_count
+
+
+def compute_adjacency(
+    region: SquareRegion,
+    positions: np.ndarray,
+    tx_range: float,
+    index: UniformGridIndex | None = None,
+) -> np.ndarray:
+    """Unit-disk adjacency of ``positions`` under the region metric.
+
+    If ``index`` is given it is rebuilt and used; otherwise the dense
+    path is used for small networks and a throwaway grid index for large
+    sparse ones.  Either path returns the identical boolean matrix.
+    """
+    pos = np.asarray(positions, dtype=float)
+    if index is not None:
+        index.rebuild(pos)
+        return index.adjacency(tx_range)
+    sparse_enough = tx_range * 4.0 < region.side
+    if len(pos) > _DENSE_NODE_LIMIT and sparse_enough:
+        scratch = UniformGridIndex(region, tx_range)
+        scratch.rebuild(pos)
+        return scratch.adjacency(tx_range)
+    return region.adjacency(pos, tx_range)
+
+
+def _pairs_from_mask(mask: np.ndarray) -> np.ndarray:
+    """Upper-triangle True entries of a symmetric mask as sorted pairs."""
+    upper = np.triu(mask, k=1)
+    rows, cols = np.nonzero(upper)
+    return np.column_stack([rows, cols])
+
+
+def diff_adjacency(previous: np.ndarray, current: np.ndarray) -> LinkEvents:
+    """Extract link generation/break events between two adjacencies."""
+    prev = np.asarray(previous, dtype=bool)
+    curr = np.asarray(current, dtype=bool)
+    if prev.shape != curr.shape:
+        raise ValueError(
+            f"adjacency shapes differ: {prev.shape} vs {curr.shape}"
+        )
+    generated = _pairs_from_mask(curr & ~prev)
+    broken = _pairs_from_mask(prev & ~curr)
+    return LinkEvents(generated=generated, broken=broken)
+
+
+def degree_counts(adjacency: np.ndarray) -> np.ndarray:
+    """Per-node degree vector of a boolean adjacency matrix."""
+    return np.asarray(adjacency, dtype=bool).sum(axis=1)

@@ -1,0 +1,152 @@
+"""Bounded simulation regions with torus / reflecting / open boundaries.
+
+The paper's simulations place ``N`` nodes in an ``a x a`` square and use
+wrap-around ("if a node hits the border of the square region, it
+reappears at the same position in the opposite border and continues
+moving without changing its direction" — i.e. a torus).  Reflecting and
+open boundaries are provided for the boundary-condition ablation called
+out in DESIGN.md.
+
+Positions are ``(N, 2)`` float arrays.  All operations are vectorized.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Boundary", "SquareRegion"]
+
+
+class Boundary(enum.Enum):
+    """Boundary handling of a :class:`SquareRegion`."""
+
+    #: Wrap around to the opposite border (the paper's RWP variant).
+    TORUS = "torus"
+    #: Mirror the offending coordinate and reverse that velocity component.
+    REFLECT = "reflect"
+    #: Leave positions untouched; nodes may drift outside the square.
+    OPEN = "open"
+
+
+@dataclass(frozen=True)
+class SquareRegion:
+    """An axis-aligned square ``[0, side] x [0, side]``.
+
+    Parameters
+    ----------
+    side:
+        Border length ``a`` of the square.
+    boundary:
+        How positions that leave the square are treated, and which
+        metric :meth:`distance_matrix` uses (torus regions use the
+        wrap-around metric so connectivity is translation invariant).
+    """
+
+    side: float
+    boundary: Boundary = Boundary.TORUS
+
+    def __post_init__(self) -> None:
+        if self.side <= 0.0:
+            raise ValueError(f"side must be positive, got {self.side}")
+        if not isinstance(self.boundary, Boundary):
+            object.__setattr__(self, "boundary", Boundary(self.boundary))
+
+    @property
+    def area(self) -> float:
+        """Area of the square."""
+        return self.side * self.side
+
+    @property
+    def diameter(self) -> float:
+        """Largest possible separation under this region's metric."""
+        if self.boundary is Boundary.TORUS:
+            return self.side * math.sqrt(0.5)
+        return self.side * math.sqrt(2.0)
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def uniform_positions(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` positions uniformly at random inside the square."""
+        if n < 0:
+            raise ValueError(f"node count must be non-negative, got {n}")
+        rng = np.random.default_rng(rng)
+        return rng.uniform(0.0, self.side, size=(n, 2))
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of positions lying inside the square."""
+        pos = np.asarray(positions, dtype=float)
+        return np.all((pos >= 0.0) & (pos <= self.side), axis=-1)
+
+    # ------------------------------------------------------------------
+    # Boundary application
+    # ------------------------------------------------------------------
+    def apply_boundary(
+        self, positions: np.ndarray, velocities: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Map raw positions back into the square per the boundary rule.
+
+        Returns the corrected positions and (possibly sign-flipped)
+        velocities.  Inputs are not modified.
+        """
+        pos = np.array(positions, dtype=float, copy=True)
+        vel = None if velocities is None else np.array(velocities, dtype=float, copy=True)
+
+        if self.boundary is Boundary.TORUS:
+            pos = np.mod(pos, self.side)
+            # np.mod can round a tiny negative up to exactly `side`,
+            # which is outside the canonical [0, side) cell.
+            pos[pos >= self.side] = 0.0
+        elif self.boundary is Boundary.REFLECT:
+            # Reflect possibly multiple times (period 2*side triangle wave).
+            period = 2.0 * self.side
+            folded = np.mod(pos, period)
+            over = folded > self.side
+            folded[over] = period - folded[over]
+            if vel is not None:
+                # A velocity component flips once per boundary crossing;
+                # the net sign is that of the triangle wave's slope.
+                slope_negative = np.mod(pos, period) > self.side
+                vel[slope_negative] *= -1.0
+            pos = folded
+        # Boundary.OPEN: nothing to do.
+        return pos, vel
+
+    # ------------------------------------------------------------------
+    # Metric
+    # ------------------------------------------------------------------
+    def displacement(self, origin: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Shortest displacement vectors ``target - origin`` under the metric."""
+        diff = np.asarray(target, dtype=float) - np.asarray(origin, dtype=float)
+        if self.boundary is Boundary.TORUS:
+            diff = diff - self.side * np.round(diff / self.side)
+        return diff
+
+    def distance(self, origin: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Pairwise (elementwise) distances under the region metric."""
+        diff = self.displacement(origin, target)
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    def distance_matrix(self, positions: np.ndarray) -> np.ndarray:
+        """Full ``(N, N)`` distance matrix under the region metric."""
+        pos = np.asarray(positions, dtype=float)
+        diff = pos[:, None, :] - pos[None, :, :]
+        if self.boundary is Boundary.TORUS:
+            diff = diff - self.side * np.round(diff / self.side)
+        return np.sqrt(np.sum(diff * diff, axis=-1))
+
+    def adjacency(self, positions: np.ndarray, tx_range: float) -> np.ndarray:
+        """Boolean symmetric adjacency for a unit-disk graph of ``tx_range``.
+
+        Self-loops are excluded.
+        """
+        if tx_range < 0.0:
+            raise ValueError(f"tx_range must be non-negative, got {tx_range}")
+        dist = self.distance_matrix(positions)
+        adj = dist <= tx_range
+        np.fill_diagonal(adj, False)
+        return adj

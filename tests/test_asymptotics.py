@@ -1,0 +1,104 @@
+"""Tests for the Section 6 Θ-notation module (repro.core.asymptotics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.asymptotics import (
+    PAPER_CLAIMED_EXPONENTS,
+    ScalingResult,
+    asymptotic_exponent_table,
+    fit_power_law,
+    measure_exponent,
+)
+
+
+class TestPowerLawFit:
+    def test_exact_power_law(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        exponent, r2 = fit_power_law(x, 3.0 * x**2.5)
+        assert exponent == pytest.approx(2.5)
+        assert r2 == pytest.approx(1.0)
+
+    def test_constant_series(self):
+        x = np.array([1.0, 2.0, 4.0])
+        exponent, _ = fit_power_law(x, np.full(3, 7.0))
+        assert exponent == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0, 3.0]), np.array([1.0, -1.0, 2.0]))
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0, 3.0]), np.array([1.0, 2.0]))
+
+
+class TestMeasuredExponents:
+    """The reproduction of the paper's Section 6 claims."""
+
+    @pytest.mark.parametrize("quantity", list(PAPER_CLAIMED_EXPONENTS))
+    @pytest.mark.parametrize("parameter", ["r", "rho", "v"])
+    def test_matches_paper_claim(self, quantity, parameter):
+        claimed = PAPER_CLAIMED_EXPONENTS[quantity][parameter]
+        result = measure_exponent(quantity, parameter, num=6)
+        assert isinstance(result, ScalingResult)
+        assert result.exponent == pytest.approx(claimed, abs=0.12)
+
+    @pytest.mark.parametrize("quantity", list(PAPER_CLAIMED_EXPONENTS))
+    def test_theta_one_in_network_size(self, quantity):
+        result = measure_exponent(quantity, "N", num=5)
+        assert result.exponent == pytest.approx(0.0, abs=0.05)
+
+    def test_velocity_fits_are_exact(self):
+        # Every overhead is exactly linear in v.
+        result = measure_exponent("hello", "v", num=5)
+        assert result.exponent == pytest.approx(1.0, abs=1e-9)
+        assert result.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_unknown_quantity_rejected(self):
+        with pytest.raises(ValueError):
+            measure_exponent("bogus", "r")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError):
+            measure_exponent("hello", "bogus")
+
+
+def test_full_table_structure():
+    table = asymptotic_exponent_table(num=4)
+    assert set(table) == set(PAPER_CLAIMED_EXPONENTS)
+    for quantity, claims in PAPER_CLAIMED_EXPONENTS.items():
+        assert set(table[quantity]) == set(claims)
+        for parameter, result in table[quantity].items():
+            assert result.quantity == quantity
+            assert result.parameter == parameter
+            assert len(result.grid) == 4
+            assert len(result.values) == 4
+
+
+def test_route_dominates_total_overhead():
+    """Section 6: 'ROUTE message overhead constitutes the main control
+    overhead' (full-table reading)."""
+    from repro.core.lid_analysis import lid_head_probability
+    from repro.core.overhead import (
+        cluster_overhead,
+        hello_overhead,
+        route_overhead,
+    )
+    from repro.core.params import NetworkParameters
+
+    params = NetworkParameters.from_fractions(
+        n_nodes=400, range_fraction=0.15, velocity_fraction=0.05
+    )
+    p_head = float(
+        lid_head_probability(params.n_nodes, params.density, params.tx_range)
+    )
+    route = route_overhead(params, p_head, full_table=True)
+    assert route > hello_overhead(params)
+    assert route > cluster_overhead(params, p_head)

@@ -1,0 +1,89 @@
+"""Tests for the capacity/budget module (Gupta–Kumar motivation)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.capacity import (
+    control_overhead_fraction,
+    per_node_capacity,
+    saturation_network_size,
+)
+from repro.core.params import NetworkParameters
+
+
+class TestPerNodeCapacity:
+    def test_scaling_law(self):
+        assert per_node_capacity(100, 1e6) == pytest.approx(
+            1e6 / math.sqrt(100 * math.log(100))
+        )
+
+    def test_decreasing_in_n(self):
+        values = [per_node_capacity(n, 1e6) for n in (10, 100, 1000, 10000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_linear_in_bandwidth(self):
+        assert per_node_capacity(50, 2e6) == pytest.approx(
+            2 * per_node_capacity(50, 1e6)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            per_node_capacity(1, 1e6)
+        with pytest.raises(ValueError):
+            per_node_capacity(10, 0.0)
+        with pytest.raises(ValueError):
+            per_node_capacity(10, 1e6, constant=0.0)
+
+
+class TestOverheadFraction:
+    def test_defaults_to_lid_probability(self, params):
+        explicit = control_overhead_fraction(params, 1e6, head_probability=None)
+        from repro.core.lid_analysis import lid_head_probability
+
+        p_head = float(
+            lid_head_probability(params.n_nodes, params.density, params.tx_range)
+        )
+        manual = control_overhead_fraction(
+            params, 1e6, head_probability=p_head
+        )
+        assert explicit == pytest.approx(manual)
+
+    def test_decreasing_in_bandwidth(self, params):
+        narrow = control_overhead_fraction(params, 1e5)
+        wide = control_overhead_fraction(params, 1e7)
+        assert wide == pytest.approx(narrow / 100.0)
+
+    def test_grows_with_network_size_at_fixed_density(self, params):
+        small = control_overhead_fraction(params, 1e6)
+        big = control_overhead_fraction(params.with_(n_nodes=1000), 1e6)
+        assert big > small
+
+
+class TestSaturation:
+    def test_saturation_point_exists_and_is_consistent(self):
+        base = NetworkParameters(
+            n_nodes=100, density=100.0, tx_range=0.15, velocity=0.05
+        )
+        bandwidth = 2e5
+        n_star = saturation_network_size(base, bandwidth, max_nodes=10**7)
+        assert n_star is not None
+        below = control_overhead_fraction(base.with_(n_nodes=n_star - 1), bandwidth)
+        at = control_overhead_fraction(base.with_(n_nodes=n_star), bandwidth)
+        assert below < 1.0 <= at
+
+    def test_none_when_budget_huge(self):
+        base = NetworkParameters(
+            n_nodes=100, density=100.0, tx_range=0.15, velocity=0.05
+        )
+        assert (
+            saturation_network_size(base, 1e15, max_nodes=10_000) is None
+        )
+
+    def test_immediate_saturation(self):
+        base = NetworkParameters(
+            n_nodes=100, density=100.0, tx_range=0.15, velocity=0.05
+        )
+        assert saturation_network_size(base, 1e-6) == 100

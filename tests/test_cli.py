@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import experiment_ids
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_with_quick(self):
+        args = build_parser().parse_args(["run", "fig1", "--quick"])
+        assert args.experiment == "fig1"
+        assert args.quick
+
+    def test_model_defaults(self):
+        args = build_parser().parse_args(["model"])
+        assert args.n == 400
+        assert args.rf == pytest.approx(0.15)
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == experiment_ids()
+
+    def test_model_output(self, capsys):
+        assert main(["model", "--n", "200", "--rf", "0.1", "--vf", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "LID head ratio" in out
+        assert "O_total" in out
+        assert "f_hello" in out
+
+    def test_model_full_table_flag(self, capsys):
+        main(["model", "--full-table"])
+        full = capsys.readouterr().out
+        main(["model"])
+        entry = capsys.readouterr().out
+
+        def route_line(text):
+            for line in text.splitlines():
+                if line.startswith("O_route"):
+                    return float(line.split("=")[1].split()[0])
+            raise AssertionError("no O_route line")
+
+        assert route_line(full) > route_line(entry)
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "fig4a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(a)" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "figX"])
+
+    def test_sweep_command(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "velocity",
+                "0.02,0.05",
+                "--n",
+                "40",
+                "--seeds",
+                "1",
+                "--duration",
+                "3.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sweep of velocity" in out
+        assert "f_hello sim" in out
+
+    def test_sweep_bad_values(self, capsys):
+        assert main(["sweep", "velocity", "abc"]) == 2
+        assert main(["sweep", "velocity", ","]) == 2
+
+    def test_sweep_rejects_unknown_parameter(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "temperature", "1,2"])
+
+    def test_run_with_csv_export(self, capsys, tmp_path):
+        target = tmp_path / "csv"
+        assert main(["run", "fig4b", "--quick", "--csv", str(target)]) == 0
+        csv_file = target / "fig4b.csv"
+        assert csv_file.exists()
+        header = csv_file.read_text().splitlines()[0]
+        assert header.startswith("d+1,")

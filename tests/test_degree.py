@@ -1,0 +1,139 @@
+"""Tests for Claim 1 — expected degree (repro.core.degree)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degree import (
+    degree_from_params,
+    expected_degree,
+    expected_degree_eqn1,
+    expected_head_degree,
+    infinite_plane_degree,
+)
+from repro.spatial import Boundary, SquareRegion
+
+
+class TestExpectedDegree:
+    def test_zero_range(self):
+        assert expected_degree(100, 100.0, 0.0) == 0.0
+
+    def test_full_range_connects_everyone(self):
+        # r = sqrt(2) a reaches the whole square.
+        side = math.sqrt(100 / 100.0)
+        assert expected_degree(100, 100.0, math.sqrt(2) * side) == pytest.approx(99.0)
+
+    def test_matches_eqn1_below_side(self):
+        for r in (0.05, 0.2, 0.5, 0.9):
+            exact = expected_degree(400, 400.0, r)
+            printed = expected_degree_eqn1(400, 400.0, r)
+            assert exact == pytest.approx(printed, rel=1e-12)
+
+    def test_eqn1_vectorized(self):
+        rs = np.linspace(0.01, 0.5, 7)
+        np.testing.assert_allclose(
+            expected_degree(400, 400.0, rs),
+            expected_degree_eqn1(400, 400.0, rs),
+            rtol=1e-12,
+        )
+
+    def test_monotone_in_range(self):
+        rs = np.linspace(0.0, 1.0, 30)
+        degrees = expected_degree(400, 400.0, rs)
+        assert np.all(np.diff(degrees) >= 0)
+
+    def test_below_infinite_plane(self):
+        # Boundary truncation can only reduce the neighbor count.
+        for r in (0.1, 0.3, 0.6):
+            bounded = expected_degree(400, 400.0, r)
+            unbounded = infinite_plane_degree(400.0, r)
+            assert bounded < unbounded
+
+    def test_tends_to_plane_degree_for_small_r(self):
+        # d / (rho pi r^2) -> (N-1)/N as r -> 0.
+        n, rho, r = 1000, 1000.0, 1e-3
+        ratio = expected_degree(n, rho, r) / infinite_plane_degree(rho, r)
+        assert ratio == pytest.approx((n - 1) / n, rel=1e-3)
+
+    def test_matches_monte_carlo(self):
+        region = SquareRegion(1.0, Boundary.OPEN)
+        n, r = 300, 0.2
+        degrees = []
+        for seed in range(10):
+            positions = region.uniform_positions(n, seed)
+            degrees.append(region.adjacency(positions, r).sum(axis=1).mean())
+        assert expected_degree(n, float(n), r) == pytest.approx(
+            float(np.mean(degrees)), rel=0.03
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_degree(0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_degree(10, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            expected_degree(10, 1.0, -0.1)
+
+
+class TestHeadDegree:
+    def test_scales_with_head_count(self):
+        # d' uses the head population N*P in place of N.
+        full = expected_degree(400, 400.0, 0.2)
+        heads = expected_head_degree(400, 400.0, 0.2, 0.25)
+        assert heads == pytest.approx(full * (400 * 0.25 - 1) / 399, rel=1e-12)
+
+    def test_all_heads_equals_degree(self):
+        assert expected_head_degree(400, 400.0, 0.2, 1.0) == pytest.approx(
+            expected_degree(400, 400.0, 0.2)
+        )
+
+    def test_clamps_at_zero(self):
+        # Fewer than one expected head leaves no head neighbors.
+        assert expected_head_degree(10, 10.0, 0.2, 0.05) == 0.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            expected_head_degree(100, 100.0, 0.1, 0.0)
+        with pytest.raises(ValueError):
+            expected_head_degree(100, 100.0, 0.1, 1.5)
+
+
+class TestPlaneDegree:
+    def test_formula(self):
+        assert infinite_plane_degree(50.0, 0.1) == pytest.approx(
+            50.0 * math.pi * 0.01
+        )
+
+    def test_vectorized(self):
+        rs = np.array([0.1, 0.2])
+        np.testing.assert_allclose(
+            infinite_plane_degree(2.0, rs), 2.0 * math.pi * rs**2
+        )
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            infinite_plane_degree(0.0, 0.1)
+
+
+def test_degree_from_params(params):
+    assert degree_from_params(params) == pytest.approx(
+        float(expected_degree(params.n_nodes, params.density, params.tx_range))
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=2000),
+    st.floats(min_value=0.1, max_value=1000.0),
+    st.floats(min_value=1e-4, max_value=0.99),
+)
+def test_degree_bounds_property(n, rho, fraction):
+    """0 <= d <= N-1 for any r inside the square."""
+    side = math.sqrt(n / rho)
+    degree = expected_degree(n, rho, fraction * side)
+    assert -1e-9 <= degree <= n - 1 + 1e-9

@@ -1,0 +1,176 @@
+"""Tests for the simulation kernel (repro.sim.engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import NetworkParameters
+from repro.mobility import ConstantVelocityModel, EpochRandomWaypointModel
+from repro.sim import Protocol, Simulation, recommended_step
+from repro.spatial import Boundary
+
+
+class RecordingProtocol(Protocol):
+    """Captures every hook invocation for ordering assertions."""
+
+    def __init__(self):
+        self.events = []
+        self.attached_to = None
+
+    def on_attach(self, sim):
+        self.attached_to = sim
+
+    def on_step_begin(self, sim, time):
+        self.events.append(("begin", time))
+
+    def on_link_up(self, sim, u, v, time):
+        self.events.append(("up", u, v, time))
+
+    def on_link_down(self, sim, u, v, time):
+        self.events.append(("down", u, v, time))
+
+    def on_step_end(self, sim, time):
+        self.events.append(("end", time))
+
+
+@pytest.fixture
+def sim(params) -> Simulation:
+    return Simulation(
+        params, EpochRandomWaypointModel(params.velocity, 1.0), seed=3
+    )
+
+
+class TestRecommendedStep:
+    def test_scales_with_range_over_speed(self):
+        assert recommended_step(0.2, 0.1) == pytest.approx(
+            2 * recommended_step(0.1, 0.1)
+        )
+
+    def test_static_default(self):
+        assert recommended_step(0.1, 0.0) == 0.1
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            recommended_step(0.0, 1.0)
+
+
+class TestConstruction:
+    def test_initial_adjacency_matches_positions(self, sim, params):
+        expected = sim.region.adjacency(sim.positions, params.tx_range)
+        np.testing.assert_array_equal(sim.adjacency, expected)
+
+    def test_region_side_from_params(self, sim, params):
+        assert sim.region.side == pytest.approx(params.side)
+        assert sim.region.boundary is Boundary.TORUS
+
+    def test_rejects_bad_dt(self, params):
+        with pytest.raises(ValueError):
+            Simulation(
+                params, ConstantVelocityModel(params.velocity), dt=0.0, seed=0
+            )
+
+    def test_deterministic_given_seed(self, params):
+        counts = []
+        for _ in range(2):
+            sim = Simulation(
+                params, EpochRandomWaypointModel(params.velocity, 1.0), seed=5
+            )
+            events = 0
+            for _ in range(20):
+                events += sim.step().change_count
+            counts.append(events)
+        assert counts[0] == counts[1]
+
+
+class TestTopologyAccessors:
+    def test_neighbors_of(self, sim):
+        for node in (0, 17, 50):
+            np.testing.assert_array_equal(
+                sim.neighbors_of(node), np.flatnonzero(sim.adjacency[node])
+            )
+
+    def test_degree_of(self, sim):
+        assert sim.degree_of(3) == int(sim.adjacency[3].sum())
+
+    def test_has_link_symmetric(self, sim):
+        u = 0
+        neighbors = sim.neighbors_of(u)
+        if len(neighbors):
+            v = int(neighbors[0])
+            assert sim.has_link(u, v) and sim.has_link(v, u)
+
+
+class TestStepDelivery:
+    def test_hook_ordering(self, params):
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=1
+        )
+        protocol = sim.attach(RecordingProtocol())
+        assert protocol.attached_to is sim
+        sim.step()
+        kinds = [event[0] for event in protocol.events]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "end"
+        middle = kinds[1:-1]
+        # Downs are delivered before ups within a step.
+        if "up" in middle and "down" in middle:
+            assert middle.index("down") < middle.index("up")
+
+    def test_events_match_adjacency_diff(self, params):
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=2
+        )
+        before = sim.adjacency.copy()
+        events = sim.step()
+        after = sim.adjacency
+        for u, v in events.generated:
+            assert not before[u, v] and after[u, v]
+        for u, v in events.broken:
+            assert before[u, v] and not after[u, v]
+
+    def test_time_advances_by_dt(self, sim):
+        dt = sim.dt
+        sim.step()
+        sim.step()
+        assert sim.time == pytest.approx(2 * dt)
+
+    def test_multiple_protocols_all_notified(self, params):
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=4
+        )
+        a, b = sim.attach(RecordingProtocol()), sim.attach(RecordingProtocol())
+        sim.step()
+        assert [e for e in a.events] == [e for e in b.events]
+        assert sim.protocols == (a, b)
+
+
+class TestRun:
+    def test_warmup_excluded_from_stats(self, params):
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=6
+        )
+        stats = sim.run(duration=1.0, warmup=0.5)
+        assert stats.measured_time == pytest.approx(
+            sim.dt * max(1, round(1.0 / sim.dt)), rel=0.01
+        )
+
+    def test_invalid_durations(self, sim):
+        with pytest.raises(ValueError):
+            sim.run(duration=0.0)
+        with pytest.raises(ValueError):
+            sim.run(duration=1.0, warmup=-1.0)
+
+    def test_grid_index_used_for_large_sparse(self):
+        params = NetworkParameters.from_fractions(
+            n_nodes=500, range_fraction=0.05, velocity_fraction=0.02
+        )
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=7
+        )
+        assert sim._index is not None
+        expected = sim.region.adjacency(sim.positions, params.tx_range)
+        np.testing.assert_array_equal(sim.adjacency, expected)
+        sim.step()
+        expected = sim.region.adjacency(sim.positions, params.tx_range)
+        np.testing.assert_array_equal(sim.adjacency, expected)

@@ -1,0 +1,126 @@
+"""Tests for the uniform grid index (repro.spatial.grid_index)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import Boundary, SquareRegion, UniformGridIndex
+
+
+def _build(region, n, radius, seed):
+    positions = region.uniform_positions(n, seed)
+    index = UniformGridIndex(region, radius)
+    index.rebuild(positions)
+    return positions, index
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_radius(self, unit_torus):
+        with pytest.raises(ValueError):
+            UniformGridIndex(unit_torus, 0.0)
+
+    def test_cell_geometry(self, unit_torus):
+        index = UniformGridIndex(unit_torus, 0.3)
+        assert index.cells_per_side == 3
+        assert index.cell_size == pytest.approx(1.0 / 3.0)
+
+    def test_radius_larger_than_side(self, unit_torus):
+        index = UniformGridIndex(unit_torus, 2.0)
+        assert index.cells_per_side == 1
+
+    def test_query_before_rebuild_raises(self, unit_torus):
+        index = UniformGridIndex(unit_torus, 0.2)
+        with pytest.raises(RuntimeError):
+            index.neighbors_of(0)
+        with pytest.raises(RuntimeError):
+            index.neighbor_pairs()
+        with pytest.raises(RuntimeError):
+            index.adjacency()
+
+    def test_bad_positions_shape(self, unit_torus):
+        index = UniformGridIndex(unit_torus, 0.2)
+        with pytest.raises(ValueError):
+            index.rebuild(np.zeros((5, 3)))
+
+
+class TestEquivalenceWithDense:
+    @pytest.mark.parametrize("boundary", [Boundary.TORUS, Boundary.OPEN])
+    @pytest.mark.parametrize("radius", [0.05, 0.13, 0.31])
+    def test_adjacency_identical(self, boundary, radius):
+        region = SquareRegion(1.0, boundary)
+        positions, index = _build(region, 250, radius, seed=1)
+        np.testing.assert_array_equal(
+            index.adjacency(), region.adjacency(positions, radius)
+        )
+
+    def test_neighbors_of_matches_dense_row(self, unit_torus):
+        positions, index = _build(unit_torus, 150, 0.12, seed=2)
+        dense = unit_torus.adjacency(positions, 0.12)
+        for node in range(0, 150, 17):
+            np.testing.assert_array_equal(
+                np.sort(index.neighbors_of(node)), np.flatnonzero(dense[node])
+            )
+
+    def test_tiny_torus_few_cells(self):
+        # cells_per_side <= 3 exercises the wrapped-stencil dedup path.
+        region = SquareRegion(1.0, Boundary.TORUS)
+        positions, index = _build(region, 80, 0.4, seed=3)
+        assert index.cells_per_side <= 3
+        np.testing.assert_array_equal(
+            index.adjacency(), region.adjacency(positions, 0.4)
+        )
+
+    def test_smaller_query_radius(self, unit_torus):
+        positions, index = _build(unit_torus, 120, 0.2, seed=4)
+        np.testing.assert_array_equal(
+            index.adjacency(0.1), unit_torus.adjacency(positions, 0.1)
+        )
+
+    def test_larger_query_radius_rejected(self, unit_torus):
+        _, index = _build(unit_torus, 20, 0.1, seed=5)
+        with pytest.raises(ValueError):
+            index.neighbors_of(0, 0.2)
+        with pytest.raises(ValueError):
+            index.neighbor_pairs(0.2)
+
+
+class TestPairs:
+    def test_pairs_sorted_and_unique(self, unit_torus):
+        _, index = _build(unit_torus, 100, 0.15, seed=6)
+        pairs = index.neighbor_pairs()
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        as_tuples = [tuple(p) for p in pairs]
+        assert len(as_tuples) == len(set(as_tuples))
+
+    def test_pair_count_matches_edges(self, unit_torus):
+        positions, index = _build(unit_torus, 100, 0.15, seed=7)
+        dense = unit_torus.adjacency(positions, 0.15)
+        assert len(index.neighbor_pairs()) == dense.sum() // 2
+
+    def test_empty_graph(self, unit_torus):
+        positions = np.array([[0.1, 0.1], [0.5, 0.5], [0.9, 0.9]])
+        index = UniformGridIndex(unit_torus, 0.05)
+        index.rebuild(positions)
+        assert index.neighbor_pairs().shape == (0, 2)
+        assert not index.adjacency().any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=120),
+    st.floats(min_value=0.03, max_value=0.6),
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from([Boundary.TORUS, Boundary.OPEN, Boundary.REFLECT]),
+)
+def test_grid_equals_dense_property(n, radius, seed, boundary):
+    """The index is exactly equivalent to the dense metric, always."""
+    region = SquareRegion(1.0, boundary)
+    positions = region.uniform_positions(n, seed)
+    index = UniformGridIndex(region, radius)
+    index.rebuild(positions)
+    np.testing.assert_array_equal(
+        index.adjacency(), region.adjacency(positions, radius)
+    )

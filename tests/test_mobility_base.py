@@ -1,0 +1,168 @@
+"""Tests for the mobility interface and the paper's models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import ConstantVelocityModel, EpochRandomWaypointModel
+from repro.spatial import Boundary, SquareRegion
+
+
+class TestLifecycle:
+    def test_requires_reset(self):
+        model = ConstantVelocityModel(0.1)
+        with pytest.raises(RuntimeError, match="reset"):
+            model.advance(0.1)
+        with pytest.raises(RuntimeError, match="reset"):
+            _ = model.positions
+
+    def test_reset_returns_initial_positions(self, unit_torus):
+        model = ConstantVelocityModel(0.1)
+        positions = model.reset(50, unit_torus, 0)
+        assert positions.shape == (50, 2)
+        assert model.n_nodes == 50
+        assert model.time == 0.0
+
+    def test_positions_read_only(self, unit_torus):
+        model = ConstantVelocityModel(0.1)
+        model.reset(10, unit_torus, 0)
+        with pytest.raises(ValueError):
+            model.positions[0, 0] = 0.5
+
+    def test_negative_dt_rejected(self, unit_torus):
+        model = ConstantVelocityModel(0.1)
+        model.reset(10, unit_torus, 0)
+        with pytest.raises(ValueError):
+            model.advance(-0.1)
+
+    def test_zero_dt_noop(self, unit_torus):
+        model = ConstantVelocityModel(0.1)
+        before = model.reset(10, unit_torus, 0).copy()
+        after = model.advance(0.0)
+        np.testing.assert_array_equal(before, after)
+        assert model.time == 0.0
+
+    def test_time_accumulates(self, unit_torus):
+        model = ConstantVelocityModel(0.1)
+        model.reset(10, unit_torus, 0)
+        for _ in range(5):
+            model.advance(0.25)
+        assert model.time == pytest.approx(1.25)
+
+    def test_deterministic_given_seed(self, unit_torus):
+        runs = []
+        for _ in range(2):
+            model = ConstantVelocityModel(0.1)
+            model.reset(20, unit_torus, 7)
+            for _ in range(10):
+                model.advance(0.1)
+            runs.append(np.asarray(model.positions).copy())
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+    def test_invalid_node_count(self, unit_torus):
+        with pytest.raises(ValueError):
+            ConstantVelocityModel(0.1).reset(0, unit_torus)
+
+
+class TestConstantVelocity:
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            ConstantVelocityModel(-1.0)
+
+    def test_constant_speed_maintained(self, unit_torus):
+        model = ConstantVelocityModel(0.3)
+        model.reset(100, unit_torus, 1)
+        speeds = np.hypot(model.velocities[:, 0], model.velocities[:, 1])
+        np.testing.assert_allclose(speeds, 0.3)
+        model.advance(1.0)
+        speeds = np.hypot(model.velocities[:, 0], model.velocities[:, 1])
+        np.testing.assert_allclose(speeds, 0.3)
+
+    def test_straight_line_on_torus(self):
+        region = SquareRegion(10.0, Boundary.TORUS)
+        model = ConstantVelocityModel(1.0)
+        model.reset(5, region, 2)
+        start = np.asarray(model.positions).copy()
+        velocity = np.asarray(model.velocities).copy()
+        model.advance(0.5)
+        expected, _ = region.apply_boundary(start + 0.5 * velocity)
+        np.testing.assert_allclose(model.positions, expected)
+
+    def test_headings_uniform(self, unit_torus):
+        model = ConstantVelocityModel(1.0)
+        model.reset(20_000, unit_torus, 3)
+        angles = np.arctan2(model.velocities[:, 1], model.velocities[:, 0])
+        # Mean direction vector of a uniform distribution is ~0.
+        assert abs(np.mean(np.cos(angles))) < 0.02
+        assert abs(np.mean(np.sin(angles))) < 0.02
+
+    def test_reflect_boundary_flips_velocity(self):
+        region = SquareRegion(1.0, Boundary.REFLECT)
+        model = ConstantVelocityModel(0.4)
+        model.reset(200, region, 4)
+        for _ in range(50):
+            positions = model.advance(0.1)
+            assert np.all(region.contains(positions))
+        # Speed magnitude preserved through reflections.
+        speeds = np.hypot(model.velocities[:, 0], model.velocities[:, 1])
+        np.testing.assert_allclose(speeds, 0.4, rtol=1e-9)
+
+    def test_uniform_distribution_preserved(self, unit_torus):
+        # The CV/BCV stationarity property the analysis depends on.
+        model = ConstantVelocityModel(0.2)
+        model.reset(5000, unit_torus, 5)
+        for _ in range(40):
+            model.advance(0.25)
+        positions = np.asarray(model.positions)
+        for axis in range(2):
+            assert np.mean(positions[:, axis] < 0.5) == pytest.approx(0.5, abs=0.03)
+
+
+class TestEpochRandomWaypoint:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EpochRandomWaypointModel(-0.1)
+        with pytest.raises(ValueError):
+            EpochRandomWaypointModel(0.1, epoch=0.0)
+
+    def test_constant_speed_between_epochs(self, unit_torus):
+        model = EpochRandomWaypointModel(0.25, epoch=10.0)
+        model.reset(50, unit_torus, 0)
+        start = np.asarray(model.positions).copy()
+        model.advance(0.5)  # well within the first epoch
+        displacement = np.asarray(model.positions) - start
+        # Wrap-aware displacement length equals v * dt.
+        wrapped = displacement - np.round(displacement)
+        lengths = np.hypot(wrapped[:, 0], wrapped[:, 1])
+        np.testing.assert_allclose(lengths, 0.125, atol=1e-9)
+
+    def test_headings_change_at_epoch(self, unit_torus):
+        model = EpochRandomWaypointModel(0.2, epoch=1.0)
+        model.reset(100, unit_torus, 1)
+        v_before = model._velocities.copy()
+        model.advance(1.5)  # crosses the epoch boundary
+        assert not np.allclose(v_before, model._velocities)
+
+    def test_headings_stable_within_epoch(self, unit_torus):
+        model = EpochRandomWaypointModel(0.2, epoch=5.0)
+        model.reset(100, unit_torus, 1)
+        v_before = model._velocities.copy()
+        model.advance(1.0)
+        np.testing.assert_array_equal(v_before, model._velocities)
+
+    def test_multi_epoch_advance(self, unit_torus):
+        model = EpochRandomWaypointModel(0.2, epoch=0.3)
+        model.reset(30, unit_torus, 2)
+        positions = model.advance(1.0)  # spans 3 epoch boundaries
+        assert np.all(unit_torus.contains(positions))
+        assert model.time == pytest.approx(1.0)
+
+    def test_uniform_distribution_preserved(self, unit_torus):
+        model = EpochRandomWaypointModel(0.15, epoch=1.0)
+        model.reset(5000, unit_torus, 3)
+        for _ in range(30):
+            model.advance(0.5)
+        positions = np.asarray(model.positions)
+        for axis in range(2):
+            assert np.mean(positions[:, axis] < 0.5) == pytest.approx(0.5, abs=0.03)

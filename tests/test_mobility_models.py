@@ -1,0 +1,244 @@
+"""Tests for the survey mobility models (RWP, RW, RD, GM, Manhattan, RPGM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    GaussMarkovModel,
+    ManhattanModel,
+    RandomDirectionModel,
+    RandomWalkModel,
+    RandomWaypointModel,
+    ReferencePointGroupModel,
+)
+from repro.spatial import Boundary, SquareRegion
+
+
+@pytest.fixture
+def reflect_region() -> SquareRegion:
+    return SquareRegion(1.0, Boundary.REFLECT)
+
+
+@pytest.fixture
+def open_region() -> SquareRegion:
+    return SquareRegion(1.0, Boundary.OPEN)
+
+
+def _run(model, region, n=60, steps=40, dt=0.1, seed=0):
+    model.reset(n, region, seed)
+    for _ in range(steps):
+        positions = model.advance(dt)
+    return np.asarray(positions)
+
+
+class TestRandomWaypoint:
+    def test_rejects_zero_min_speed(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel((0.0, 1.0))
+
+    def test_rejects_bad_pause(self):
+        with pytest.raises(ValueError):
+            RandomWaypointModel((0.1, 0.2), (-1.0, 0.0))
+
+    def test_stays_inside(self, open_region):
+        positions = _run(RandomWaypointModel((0.05, 0.2)), open_region)
+        assert np.all(open_region.contains(positions))
+
+    def test_reaches_waypoints_exactly(self, open_region):
+        model = RandomWaypointModel((0.5, 0.5))
+        model.reset(1, open_region, 1)
+        target = model._targets[0].copy()
+        # Travel long enough to certainly arrive and re-target.
+        model.advance(np.linalg.norm(target - model.positions[0]) / 0.5 + 1e-9)
+        assert not np.array_equal(model._targets[0], target)
+
+    def test_pause_halts_motion(self, open_region):
+        model = RandomWaypointModel((0.5, 0.5), pause_range=(100.0, 100.0))
+        model.reset(1, open_region, 2)
+        # Arrive at the first waypoint, entering the long pause.
+        distance = np.linalg.norm(model._targets[0] - model.positions[0])
+        model.advance(distance / 0.5 + 0.01)
+        frozen = np.asarray(model.positions).copy()
+        model.advance(5.0)
+        np.testing.assert_array_equal(model.positions, frozen)
+
+    def test_center_bias_of_stationary_distribution(self, open_region):
+        # The well-known RWP density pathology: more mass near the center.
+        model = RandomWaypointModel((0.2, 0.4))
+        model.reset(3000, open_region, 3)
+        for _ in range(60):
+            model.advance(0.5)
+        positions = np.asarray(model.positions)
+        center_distance = np.linalg.norm(positions - 0.5, axis=1)
+        # Under uniformity E[dist to center] ~ 0.3826; RWP is clearly lower.
+        assert center_distance.mean() < 0.36
+
+
+class TestRandomWalk:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            RandomWalkModel((0.1, 0.2), interval=0.0)
+
+    def test_stays_inside_reflect(self, reflect_region):
+        positions = _run(RandomWalkModel((0.1, 0.5)), reflect_region)
+        assert np.all(reflect_region.contains(positions))
+
+    def test_headings_redrawn_after_interval(self, reflect_region):
+        model = RandomWalkModel((0.1, 0.1), interval=0.5)
+        model.reset(50, reflect_region, 4)
+        before = model._velocities.copy()
+        model.advance(1.0)
+        assert not np.allclose(before, model._velocities)
+
+    def test_speed_within_bounds(self, reflect_region):
+        model = RandomWalkModel((0.1, 0.3))
+        model.reset(200, reflect_region, 5)
+        model.advance(0.7)
+        speeds = np.hypot(model._velocities[:, 0], model._velocities[:, 1])
+        assert np.all(speeds >= 0.1 - 1e-9)
+        assert np.all(speeds <= 0.3 + 1e-9)
+
+
+class TestRandomDirection:
+    def test_rejects_zero_speed(self):
+        with pytest.raises(ValueError):
+            RandomDirectionModel((0.0, 0.1))
+
+    def test_stays_inside(self, open_region):
+        positions = _run(RandomDirectionModel((0.1, 0.4), pause=0.1), open_region)
+        assert np.all(open_region.contains(positions))
+
+    def test_travels_to_border_then_turns(self, open_region):
+        model = RandomDirectionModel((0.5, 0.5))
+        model.reset(1, open_region, 6)
+        heading_before = model._velocities[0].copy()
+        # With speed 0.5 in a unit square any straight leg ends within
+        # ~3s, and with pause=0 the node turns at the border within the
+        # same advance call — so the heading must have changed.
+        model.advance(5.0)
+        assert not np.allclose(model._velocities[0], heading_before)
+
+    def test_pause_at_border(self, open_region):
+        model = RandomDirectionModel((0.5, 0.5), pause=10.0)
+        model.reset(1, open_region, 7)
+        for _ in range(200):
+            model.advance(0.05)
+            if model._pause_left[0] > 0.0:
+                break
+        else:
+            pytest.fail("node never reached the border")
+        frozen = np.asarray(model.positions).copy()
+        model.advance(1.0)
+        np.testing.assert_array_equal(model.positions, frozen)
+
+
+class TestGaussMarkov:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GaussMarkovModel(0.0)
+        with pytest.raises(ValueError):
+            GaussMarkovModel(0.1, alpha=1.5)
+        with pytest.raises(ValueError):
+            GaussMarkovModel(0.1, update_interval=0.0)
+
+    def test_stays_inside(self, reflect_region):
+        positions = _run(GaussMarkovModel(0.1), reflect_region)
+        assert np.all(reflect_region.contains(positions))
+
+    def test_alpha_one_is_constant_velocity(self):
+        # On a torus there are no reflections, so alpha=1 freezes the
+        # speed/heading processes entirely (degenerates to CV).
+        region = SquareRegion(1.0, Boundary.TORUS)
+        model = GaussMarkovModel(0.2, alpha=1.0, speed_sigma=0.0)
+        model.reset(30, region, 8)
+        headings = model._headings.copy()
+        speeds = model._speeds.copy()
+        model.advance(3.0)
+        np.testing.assert_allclose(model._speeds, speeds)
+        np.testing.assert_allclose(model._headings, headings)
+
+    def test_speed_reverts_to_mean(self, reflect_region):
+        model = GaussMarkovModel(0.3, alpha=0.5, speed_sigma=0.05)
+        model.reset(2000, reflect_region, 9)
+        for _ in range(50):
+            model.advance(1.0)
+        assert np.mean(model._speeds) == pytest.approx(0.3, abs=0.02)
+
+    def test_speeds_never_negative(self, reflect_region):
+        model = GaussMarkovModel(0.05, alpha=0.2, speed_sigma=0.2)
+        model.reset(500, reflect_region, 10)
+        for _ in range(30):
+            model.advance(1.0)
+            assert np.all(model._speeds >= 0.0)
+
+
+class TestManhattan:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ManhattanModel((0.0, 0.1))
+        with pytest.raises(ValueError):
+            ManhattanModel((0.1, 0.2), blocks=0)
+        with pytest.raises(ValueError):
+            ManhattanModel((0.1, 0.2), turn_probability=1.5)
+
+    def test_nodes_stay_on_streets(self, open_region):
+        model = ManhattanModel((0.1, 0.3), blocks=4)
+        model.reset(80, open_region, 11)
+        spacing = model.street_spacing
+        for _ in range(40):
+            positions = np.asarray(model.advance(0.1))
+            offsets = positions / spacing
+            on_street = np.isclose(offsets, np.round(offsets), atol=1e-6)
+            assert np.all(on_street.any(axis=1)), "node left the street grid"
+
+    def test_stays_inside(self, open_region):
+        positions = _run(ManhattanModel((0.1, 0.3), blocks=5), open_region)
+        assert np.all(open_region.contains(positions))
+
+    def test_turns_happen(self, open_region):
+        model = ManhattanModel((0.2, 0.2), blocks=4, turn_probability=1.0)
+        model.reset(50, open_region, 12)
+        directions_before = model._direction.copy()
+        # Crossing at least one intersection forces a turn decision.
+        model.advance(2.0)
+        assert not np.array_equal(directions_before, model._direction)
+
+
+class TestReferencePointGroup:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReferencePointGroupModel(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            ReferencePointGroupModel(3, 0.0, 0.1)
+
+    def test_group_assignment_balanced(self, unit_torus):
+        model = ReferencePointGroupModel(4, 0.1, 0.05)
+        model.reset(102, unit_torus, 13)
+        counts = np.bincount(model.group_assignment, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_members_stay_near_centers(self, unit_torus):
+        model = ReferencePointGroupModel(5, 0.08, 0.05)
+        model.reset(100, unit_torus, 14)
+        for _ in range(30):
+            model.advance(0.2)
+        centers = np.asarray(model.center_model.positions)
+        positions = np.asarray(model.positions)
+        for node in range(100):
+            center = centers[model.group_assignment[node]]
+            distance = unit_torus.distance(positions[node], center)
+            assert distance <= model.group_radius + 1e-9
+
+    def test_groups_are_spatially_coherent(self, unit_torus):
+        model = ReferencePointGroupModel(4, 0.05, 0.05)
+        model.reset(80, unit_torus, 15)
+        model.advance(1.0)
+        positions = np.asarray(model.positions)
+        # Within-group spread is far below the region scale.
+        for group in range(4):
+            members = positions[model.group_assignment == group]
+            center = np.asarray(model.center_model.positions)[group]
+            spreads = [unit_torus.distance(m, center) for m in members]
+            assert max(spreads) <= 0.05 + 1e-9

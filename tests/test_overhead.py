@@ -1,0 +1,192 @@
+"""Tests for the overhead model, Eqns 4-14 (repro.core.overhead)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import overhead as oh
+from repro.core.degree import expected_degree, expected_head_degree
+from repro.core.linkdynamics import bcv_link_generation_rate
+from repro.core.params import MessageSizes, NetworkParameters
+
+PI2 = math.pi**2
+
+
+@pytest.fixture
+def p_head() -> float:
+    return 0.2
+
+
+class TestHello:
+    def test_eqn4_equals_generation_rate(self, params):
+        degree = expected_degree(params.n_nodes, params.density, params.tx_range)
+        assert oh.hello_frequency(params) == pytest.approx(
+            bcv_link_generation_rate(degree, params.tx_range, params.velocity)
+        )
+
+    def test_eqn5_scales_with_message_size(self, params):
+        double = params.with_(
+            messages=MessageSizes(p_hello=2 * params.messages.p_hello)
+        )
+        assert oh.hello_overhead(double) == pytest.approx(
+            2 * oh.hello_overhead(params)
+        )
+
+    def test_static_network_no_overhead(self, params):
+        static = params.with_(velocity=0.0)
+        assert oh.hello_frequency(static) == 0.0
+
+
+class TestClusterFrequency:
+    def test_member_break_consistent(self, params, p_head):
+        # Per-member rate = lambda_brk / d = 8 v / (pi^2 r).
+        expected = 8.0 * params.velocity / (PI2 * params.tx_range)
+        assert oh.member_head_break_frequency(params, p_head) == pytest.approx(
+            expected
+        )
+
+    def test_member_break_printed(self, params, p_head):
+        expected = 16.0 * params.velocity * (1 - p_head) / (PI2 * params.tx_range)
+        assert oh.member_head_break_frequency(
+            params, p_head, "printed"
+        ) == pytest.approx(expected)
+
+    def test_head_merge_printed_double_of_consistent(self, params, p_head):
+        consistent = oh.head_merge_cluster_message_rate(params, p_head)
+        printed = oh.head_merge_cluster_message_rate(params, p_head, "printed")
+        assert printed == pytest.approx(2 * consistent)
+
+    def test_head_merge_eqn10_structure(self, params, p_head):
+        d_head = expected_head_degree(
+            params.n_nodes, params.density, params.tx_range, p_head
+        )
+        expected = (
+            4.0
+            * float(d_head)
+            * params.velocity
+            * params.n_nodes
+            / (PI2 * params.tx_range)
+        )
+        assert oh.head_merge_cluster_message_rate(params, p_head) == pytest.approx(
+            expected
+        )
+
+    def test_eqn11_is_sum_of_components(self, params, p_head):
+        member = (1 - p_head) * oh.member_head_break_frequency(params, p_head)
+        merge = (
+            oh.head_merge_cluster_message_rate(params, p_head) / params.n_nodes
+        )
+        assert oh.cluster_frequency(params, p_head) == pytest.approx(member + merge)
+
+    def test_all_heads_no_member_breaks(self, params):
+        # P = 1: no members, only head merges remain.
+        merge = oh.head_merge_cluster_message_rate(params, 1.0) / params.n_nodes
+        assert oh.cluster_frequency(params, 1.0) == pytest.approx(merge)
+
+    def test_invalid_probability(self, params):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                oh.cluster_frequency(params, bad)
+
+    def test_invalid_convention(self, params, p_head):
+        with pytest.raises(ValueError, match="convention"):
+            oh.cluster_frequency(params, p_head, "bogus")
+
+
+class TestRouteFrequency:
+    def test_eqn13_formula(self, params, p_head):
+        numerator = 16.0 * params.velocity * ((1 - p_head) + (1 - p_head) ** 3)
+        expected = numerator / (PI2 * params.tx_range * p_head)
+        assert oh.route_frequency(params, p_head) == pytest.approx(expected)
+
+    def test_printed_is_half(self, params, p_head):
+        assert oh.route_frequency(params, p_head, "printed") == pytest.approx(
+            0.5 * oh.route_frequency(params, p_head)
+        )
+
+    def test_numerator_algebra(self, params, p_head):
+        # (1-P) + (1-P)^3 == (1-P)(2 - (2-P)P): the printed glyph form.
+        p = p_head
+        assert (1 - p) + (1 - p) ** 3 == pytest.approx(
+            (1 - p) * (2 - (2 - p) * p)
+        )
+
+    def test_single_cluster_degenerate(self, params):
+        # P = 1: every node its own head -> no intra-cluster routes.
+        assert oh.route_frequency(params, 1.0) == 0.0
+
+    def test_grows_as_heads_shrink(self, params):
+        sparse_heads = oh.route_frequency(params, 0.05)
+        many_heads = oh.route_frequency(params, 0.5)
+        assert sparse_heads > many_heads
+
+
+class TestRouteOverhead:
+    def test_per_entry(self, params, p_head):
+        assert oh.route_overhead(params, p_head) == pytest.approx(
+            params.messages.p_route * oh.route_frequency(params, p_head)
+        )
+
+    def test_full_table_multiplies_by_cluster_size(self, params, p_head):
+        per_entry = oh.route_overhead(params, p_head, full_table=False)
+        full = oh.route_overhead(params, p_head, full_table=True)
+        assert full == pytest.approx(per_entry / p_head)
+
+
+class TestTotals:
+    def test_total_is_sum(self, params, p_head):
+        assert oh.total_overhead(params, p_head) == pytest.approx(
+            oh.hello_overhead(params)
+            + oh.cluster_overhead(params, p_head)
+            + oh.route_overhead(params, p_head)
+        )
+
+    def test_breakdown_consistency(self, params, p_head):
+        breakdown = oh.overhead_breakdown(params, p_head)
+        assert breakdown.total == pytest.approx(oh.total_overhead(params, p_head))
+        assert breakdown.frequencies["f_hello"] == breakdown.hello_frequency
+        assert breakdown.frequencies["f_cluster"] == breakdown.cluster_frequency
+        assert breakdown.frequencies["f_route"] == breakdown.route_frequency
+        assert breakdown.head_probability == p_head
+
+    def test_breakdown_degree_fields(self, params, p_head):
+        breakdown = oh.overhead_breakdown(params, p_head)
+        assert breakdown.degree == pytest.approx(
+            float(expected_degree(params.n_nodes, params.density, params.tx_range))
+        )
+        assert breakdown.head_degree <= breakdown.degree
+
+    def test_all_linear_in_velocity(self, params, p_head):
+        fast = params.with_(velocity=2 * params.velocity)
+        for fn in (oh.hello_frequency,):
+            assert fn(fast) == pytest.approx(2 * fn(params))
+        assert oh.cluster_frequency(fast, p_head) == pytest.approx(
+            2 * oh.cluster_frequency(params, p_head)
+        )
+        assert oh.route_frequency(fast, p_head) == pytest.approx(
+            2 * oh.route_frequency(params, p_head)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.01, max_value=1.0),
+    st.floats(min_value=0.01, max_value=0.3),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_overheads_nonnegative_property(p_head, range_fraction, velocity_fraction):
+    params = NetworkParameters.from_fractions(
+        n_nodes=200,
+        range_fraction=range_fraction,
+        velocity_fraction=velocity_fraction,
+    )
+    for convention in ("consistent", "printed"):
+        assert oh.cluster_frequency(params, p_head, convention) >= 0.0
+        assert oh.route_frequency(params, p_head, convention) >= 0.0
+    assert oh.hello_frequency(params) >= 0.0
+    assert oh.total_overhead(params, p_head) >= 0.0

@@ -1,0 +1,99 @@
+"""The paper's central abstraction: the algorithm enters only through P.
+
+Section 3 derives the CLUSTER/ROUTE overheads for "a general one-hop
+clustering algorithm", with the cluster-head ratio ``P`` as the single
+algorithm-dependent quantity.  If that abstraction is sound, plugging
+each algorithm's *measured* ``P`` into the same formulas must predict
+each algorithm's measured rates equally well.  These tests verify the
+claim across LID, HCC and DMAC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import measure_point
+from repro.analysis.series import relative_error
+from repro.clustering import (
+    DmacClustering,
+    HighestConnectivityClustering,
+    LowestIdClustering,
+)
+from repro.core.params import NetworkParameters
+
+ALGORITHMS = {
+    "lid": LowestIdClustering,
+    "hcc": HighestConnectivityClustering,
+    "dmac": DmacClustering,
+}
+
+
+@pytest.fixture(scope="module")
+def per_algorithm_points():
+    params = NetworkParameters.from_fractions(
+        n_nodes=100, range_fraction=0.16, velocity_fraction=0.05
+    )
+    return {
+        name: measure_point(
+            params,
+            0.16,
+            seeds=2,
+            duration=12.0,
+            warmup=1.5,
+            algorithm=factory(),
+        )
+        for name, factory in ALGORITHMS.items()
+    }
+
+
+class TestPAbstraction:
+    @pytest.mark.parametrize("name", list(ALGORITHMS))
+    def test_cluster_rate_predicted_from_measured_p(
+        self, per_algorithm_points, name
+    ):
+        point = per_algorithm_points[name]
+        error = relative_error(
+            point.measured["f_cluster"], point.predicted["f_cluster"]
+        )
+        assert error < 0.4, (name, point.measured, point.predicted)
+
+    @pytest.mark.parametrize("name", list(ALGORITHMS))
+    def test_hello_rate_algorithm_independent(
+        self, per_algorithm_points, name
+    ):
+        # HELLO does not depend on clustering at all.
+        point = per_algorithm_points[name]
+        error = relative_error(
+            point.measured["f_hello"], point.predicted["f_hello"]
+        )
+        assert error < 0.3, name
+
+    def test_prediction_quality_uniform_across_algorithms(
+        self, per_algorithm_points
+    ):
+        """The fit must not be LID-specific: the spread of prediction
+        errors across algorithms stays small."""
+        errors = [
+            relative_error(
+                point.measured["f_cluster"], point.predicted["f_cluster"]
+            )
+            for point in per_algorithm_points.values()
+        ]
+        assert max(errors) - min(errors) < 0.3
+
+    def test_route_rate_lower_bound_for_all(self, per_algorithm_points):
+        for name, point in per_algorithm_points.items():
+            assert (
+                point.measured["f_route"] > 0.6 * point.predicted["f_route"]
+            ), name
+
+    def test_measured_p_similar_across_one_hop_family(
+        self, per_algorithm_points
+    ):
+        """One-hop algorithms on the same topology produce similar P
+        (they all elect ~one head per disk)."""
+        ratios = [
+            point.measured_head_ratio
+            for point in per_algorithm_points.values()
+        ]
+        assert max(ratios) / min(ratios) < 1.5

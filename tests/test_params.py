@@ -1,0 +1,92 @@
+"""Tests for parameter bundles (repro.core.params)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.params import MessageSizes, NetworkParameters
+
+
+class TestMessageSizes:
+    def test_defaults_positive(self):
+        sizes = MessageSizes()
+        assert sizes.p_hello > 0 and sizes.p_cluster > 0 and sizes.p_route > 0
+
+    @pytest.mark.parametrize("field", ["p_hello", "p_cluster", "p_route"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError, match=field):
+            MessageSizes(**{field: 0.0})
+
+    def test_custom_values(self):
+        sizes = MessageSizes(p_hello=10.0, p_cluster=20.0, p_route=30.0)
+        assert (sizes.p_hello, sizes.p_cluster, sizes.p_route) == (10.0, 20.0, 30.0)
+
+
+class TestNetworkParameters:
+    def test_derived_geometry(self):
+        params = NetworkParameters(
+            n_nodes=400, density=4.0, tx_range=1.0, velocity=0.5
+        )
+        assert params.area == pytest.approx(100.0)
+        assert params.side == pytest.approx(10.0)
+        assert params.range_fraction == pytest.approx(0.1)
+        assert params.velocity_fraction == pytest.approx(0.05)
+
+    def test_from_side(self):
+        params = NetworkParameters.from_side(
+            n_nodes=100, side=2.0, tx_range=0.3, velocity=0.1
+        )
+        assert params.density == pytest.approx(25.0)
+        assert params.side == pytest.approx(2.0)
+
+    def test_from_fractions(self):
+        params = NetworkParameters.from_fractions(
+            n_nodes=100, range_fraction=0.15, velocity_fraction=0.05
+        )
+        assert params.side == pytest.approx(1.0)
+        assert params.tx_range == pytest.approx(0.15)
+        assert params.velocity == pytest.approx(0.05)
+        assert params.density == pytest.approx(100.0)
+
+    def test_rejects_range_at_least_side(self):
+        with pytest.raises(ValueError, match="r < a"):
+            NetworkParameters(n_nodes=100, density=100.0, tx_range=1.0, velocity=0.0)
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            NetworkParameters(n_nodes=1, density=1.0, tx_range=0.1, velocity=0.0)
+
+    def test_rejects_negative_velocity(self):
+        with pytest.raises(ValueError, match="velocity"):
+            NetworkParameters(n_nodes=10, density=1.0, tx_range=0.1, velocity=-1.0)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ValueError, match="density"):
+            NetworkParameters(n_nodes=10, density=0.0, tx_range=0.1, velocity=0.0)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError, match="tx_range"):
+            NetworkParameters(n_nodes=10, density=1.0, tx_range=0.0, velocity=0.0)
+
+    def test_with_replaces_fields(self, params):
+        faster = params.with_(velocity=0.5)
+        assert faster.velocity == 0.5
+        assert faster.tx_range == params.tx_range
+        # Original unchanged (frozen dataclass semantics).
+        assert params.velocity == pytest.approx(0.05)
+
+    def test_with_revalidates(self, params):
+        with pytest.raises(ValueError):
+            params.with_(tx_range=10.0)
+
+    def test_frozen(self, params):
+        with pytest.raises(AttributeError):
+            params.n_nodes = 7
+
+    def test_side_consistency(self):
+        params = NetworkParameters(
+            n_nodes=250, density=7.3, tx_range=0.5, velocity=0.1
+        )
+        assert params.side == pytest.approx(math.sqrt(250 / 7.3))

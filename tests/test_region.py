@@ -1,0 +1,158 @@
+"""Tests for square regions and boundary rules (repro.spatial.region)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import Boundary, SquareRegion
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            SquareRegion(0.0)
+
+    def test_boundary_from_string(self):
+        region = SquareRegion(1.0, "reflect")
+        assert region.boundary is Boundary.REFLECT
+
+    def test_area_and_diameter(self):
+        torus = SquareRegion(2.0, Boundary.TORUS)
+        assert torus.area == pytest.approx(4.0)
+        assert torus.diameter == pytest.approx(2.0 * np.sqrt(0.5))
+        open_region = SquareRegion(2.0, Boundary.OPEN)
+        assert open_region.diameter == pytest.approx(2.0 * np.sqrt(2.0))
+
+
+class TestPlacement:
+    def test_uniform_positions_inside(self, unit_torus, rng):
+        positions = unit_torus.uniform_positions(500, rng)
+        assert positions.shape == (500, 2)
+        assert np.all(unit_torus.contains(positions))
+
+    def test_deterministic_given_seed(self, unit_torus):
+        a = unit_torus.uniform_positions(10, 42)
+        b = unit_torus.uniform_positions(10, 42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_count_rejected(self, unit_torus):
+        with pytest.raises(ValueError):
+            unit_torus.uniform_positions(-1)
+
+    def test_roughly_uniform(self, unit_torus):
+        positions = unit_torus.uniform_positions(20_000, 0)
+        # Quadrant occupancy balanced within a few percent.
+        for axis in range(2):
+            fraction = np.mean(positions[:, axis] < 0.5)
+            assert fraction == pytest.approx(0.5, abs=0.02)
+
+
+class TestBoundaries:
+    def test_torus_wraps(self):
+        region = SquareRegion(1.0, Boundary.TORUS)
+        raw = np.array([[1.2, -0.3]])
+        wrapped, _ = region.apply_boundary(raw)
+        np.testing.assert_allclose(wrapped, [[0.2, 0.7]])
+
+    def test_reflect_mirrors_position_and_velocity(self):
+        region = SquareRegion(1.0, Boundary.REFLECT)
+        raw = np.array([[1.2, 0.5]])
+        velocity = np.array([[1.0, 1.0]])
+        pos, vel = region.apply_boundary(raw, velocity)
+        np.testing.assert_allclose(pos, [[0.8, 0.5]])
+        assert vel[0, 0] == -1.0
+        assert vel[0, 1] == 1.0
+
+    def test_reflect_multiple_bounces(self):
+        region = SquareRegion(1.0, Boundary.REFLECT)
+        pos, _ = region.apply_boundary(np.array([[2.3, -1.4]]))
+        # 2.3 -> triangle wave: 2.3 mod 2 = 0.3; -1.4 mod 2 = 0.6.
+        np.testing.assert_allclose(pos, [[0.3, 0.6]])
+        assert np.all(region.contains(pos))
+
+    def test_open_leaves_positions(self):
+        region = SquareRegion(1.0, Boundary.OPEN)
+        raw = np.array([[1.5, -0.5]])
+        pos, _ = region.apply_boundary(raw)
+        np.testing.assert_array_equal(pos, raw)
+
+    def test_inputs_not_mutated(self):
+        region = SquareRegion(1.0, Boundary.TORUS)
+        raw = np.array([[1.2, 0.5]])
+        region.apply_boundary(raw)
+        np.testing.assert_allclose(raw, [[1.2, 0.5]])
+
+
+class TestMetric:
+    def test_torus_shortcut(self):
+        region = SquareRegion(1.0, Boundary.TORUS)
+        d = region.distance(np.array([0.05, 0.5]), np.array([0.95, 0.5]))
+        assert d == pytest.approx(0.1)
+
+    def test_open_euclidean(self):
+        region = SquareRegion(1.0, Boundary.OPEN)
+        d = region.distance(np.array([0.05, 0.5]), np.array([0.95, 0.5]))
+        assert d == pytest.approx(0.9)
+
+    def test_distance_matrix_symmetric_zero_diagonal(self, unit_torus, rng):
+        positions = unit_torus.uniform_positions(50, rng)
+        matrix = unit_torus.distance_matrix(positions)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 0.0)
+
+    def test_torus_distance_bounded(self, unit_torus, rng):
+        positions = unit_torus.uniform_positions(100, rng)
+        matrix = unit_torus.distance_matrix(positions)
+        assert matrix.max() <= unit_torus.diameter + 1e-12
+
+    def test_adjacency_excludes_self(self, unit_torus, rng):
+        positions = unit_torus.uniform_positions(30, rng)
+        adjacency = unit_torus.adjacency(positions, 0.5)
+        assert not np.any(np.diag(adjacency))
+
+    def test_adjacency_symmetric(self, unit_torus, rng):
+        positions = unit_torus.uniform_positions(60, rng)
+        adjacency = unit_torus.adjacency(positions, 0.2)
+        np.testing.assert_array_equal(adjacency, adjacency.T)
+
+    def test_adjacency_negative_range_rejected(self, unit_torus, rng):
+        with pytest.raises(ValueError):
+            unit_torus.adjacency(unit_torus.uniform_positions(5, rng), -0.1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=-5.0, max_value=5.0),
+    st.floats(min_value=-5.0, max_value=5.0),
+)
+def test_torus_wrap_idempotent_property(x, y):
+    region = SquareRegion(1.0, Boundary.TORUS)
+    once, _ = region.apply_boundary(np.array([[x, y]]))
+    twice, _ = region.apply_boundary(once)
+    np.testing.assert_allclose(once, twice)
+    assert np.all(region.contains(once))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=-3.0, max_value=3.0),
+    st.floats(min_value=-3.0, max_value=3.0),
+)
+def test_reflect_stays_inside_property(x, y):
+    region = SquareRegion(1.0, Boundary.REFLECT)
+    pos, _ = region.apply_boundary(np.array([[x, y]]))
+    assert np.all(region.contains(pos))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_torus_metric_symmetry_property(seed):
+    region = SquareRegion(1.0, Boundary.TORUS)
+    points = region.uniform_positions(2, seed)
+    d_ab = region.distance(points[0], points[1])
+    d_ba = region.distance(points[1], points[0])
+    assert d_ab == pytest.approx(d_ba)
+    assert d_ab <= region.diameter + 1e-12

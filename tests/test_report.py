@@ -1,0 +1,64 @@
+"""Tests for table rendering (repro.analysis.report)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [33, 4.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("long_header")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns right-aligned: the digit of "1" aligns under "a".
+        assert lines[2].startswith(" 1") or lines[2].startswith("1")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000123456]])
+        assert "1.235e-04" in text
+        text = format_table(["x"], [[12345.6]])
+        assert "e+04" in text or "12350" in text
+        text = format_table(["x"], [[0.0]])
+        assert "0" in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        table = Table(title="t", headers=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_render_includes_everything(self):
+        table = Table(title="My Title", headers=["h1"], notes=["a note"])
+        table.add_row(42)
+        text = table.render()
+        assert "My Title" in text
+        assert "=" * len("My Title") in text
+        assert "42" in text
+        assert "note: a note" in text
+
+    def test_to_csv(self):
+        table = Table(title="t", headers=["a", "b"])
+        table.add_row(1, "x,y")
+        table.add_row(2.5, "plain")
+        csv_text = table.to_csv()
+        lines = csv_text.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == '1,"x,y"'  # comma-containing cell quoted
+        assert lines[2] == "2.5,plain"
+
+    def test_save_csv(self, tmp_path):
+        table = Table(title="t", headers=["a"])
+        table.add_row(7)
+        target = tmp_path / "out.csv"
+        table.save_csv(target)
+        assert target.read_text() == "a\n7\n"

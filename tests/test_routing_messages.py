@@ -1,0 +1,44 @@
+"""Tests for routing message descriptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import MessageSizes
+from repro.routing import (
+    RouteEntry,
+    rerr_bits,
+    route_update_bits,
+    rrep_bits,
+    rreq_bits,
+)
+
+
+class TestRouteEntry:
+    def test_reachable(self):
+        assert RouteEntry(1, 2, 3.0).reachable
+
+    def test_infinite_metric_unreachable(self):
+        assert not RouteEntry(1, 2, float("inf"), 5).reachable
+
+    def test_frozen(self):
+        entry = RouteEntry(1, 2, 3.0)
+        with pytest.raises(AttributeError):
+            entry.metric = 1.0
+
+
+class TestBitAccounting:
+    def test_update_scales_with_entries(self):
+        sizes = MessageSizes(p_route=100.0)
+        assert route_update_bits(sizes, 5) == pytest.approx(500.0)
+        assert route_update_bits(sizes, 0) == 0.0
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ValueError):
+            route_update_bits(MessageSizes(), -1)
+
+    def test_reactive_packets_one_entry_each(self):
+        sizes = MessageSizes(p_route=64.0)
+        assert rreq_bits(sizes) == 64.0
+        assert rrep_bits(sizes) == 64.0
+        assert rerr_bits(sizes) == 64.0

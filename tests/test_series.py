@@ -1,0 +1,89 @@
+"""Tests for series utilities (repro.analysis.series)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    crossing_indices,
+    is_monotonic,
+    relative_error,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        summary = summarize([3.0])
+        assert summary.mean == 3.0
+        assert summary.std == 0.0
+        assert summary.count == 1
+        assert math.isnan(summary.stderr)
+        assert summary.ci95() == (3.0, 3.0)
+
+    def test_known_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        lo, hi = summary.ci95()
+        assert lo < 2.5 < hi
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_accepts_generators(self):
+        summary = summarize(x for x in (1.0, 3.0))
+        assert summary.mean == 2.0
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_prediction(self):
+        assert relative_error(1.0, 0.0) == float("inf")
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_symmetric_sign(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+
+class TestMonotonic:
+    def test_increasing(self):
+        assert is_monotonic([1, 2, 3])
+        assert not is_monotonic([1, 3, 2])
+
+    def test_decreasing(self):
+        assert is_monotonic([3, 2, 1], increasing=False)
+        assert not is_monotonic([1, 2, 3], increasing=False)
+
+    def test_tolerance_forgives_noise(self):
+        noisy = [1.0, 2.0, 1.95, 3.0]
+        assert not is_monotonic(noisy)
+        assert is_monotonic(noisy, tolerance=0.05)
+
+    def test_short_series(self):
+        assert is_monotonic([5.0])
+        assert is_monotonic([])
+
+
+class TestCrossings:
+    def test_single_crossing(self):
+        a = [1.0, 2.0, 3.0]
+        b = [3.0, 2.5, 1.0]
+        assert crossing_indices(a, b) == [1]
+
+    def test_no_crossing(self):
+        assert crossing_indices([1, 2, 3], [4, 5, 6]) == []
+
+    def test_multiple_crossings(self):
+        a = [0.0, 2.0, 0.0, 2.0]
+        b = [1.0, 1.0, 1.0, 1.0]
+        assert crossing_indices(a, b) == [0, 1, 2]
+
+    def test_short_series(self):
+        assert crossing_indices([1.0], [2.0]) == []

@@ -1,0 +1,110 @@
+"""Tests for cluster stability tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    ClusterMaintenanceProtocol,
+    LowestIdClustering,
+    StabilitySummary,
+    StabilityTracker,
+)
+from repro.core.params import NetworkParameters
+from repro.mobility import EpochRandomWaypointModel
+from repro.sim import Simulation
+
+
+def _tracked_sim(vf=0.05, seed=0, n=80):
+    params = NetworkParameters.from_fractions(
+        n_nodes=n, range_fraction=0.18, velocity_fraction=vf
+    )
+    sim = Simulation(
+        params, EpochRandomWaypointModel(params.velocity, 1.0), seed=seed
+    )
+    maintenance = ClusterMaintenanceProtocol(LowestIdClustering())
+    sim.attach(maintenance)
+    tracker = sim.attach(StabilityTracker(maintenance))
+    return sim, maintenance, tracker
+
+
+class TestAttachOrdering:
+    def test_requires_formed_maintenance(self):
+        params = NetworkParameters.from_fractions(
+            n_nodes=20, range_fraction=0.2, velocity_fraction=0.0
+        )
+        sim = Simulation(params, EpochRandomWaypointModel(0.0, 1.0), seed=0)
+        maintenance = ClusterMaintenanceProtocol(LowestIdClustering())
+        tracker = StabilityTracker(maintenance)
+        with pytest.raises(RuntimeError, match="after the maintenance"):
+            sim.attach(tracker)
+
+    def test_summary_before_attach_raises(self):
+        maintenance = ClusterMaintenanceProtocol(LowestIdClustering())
+        tracker = StabilityTracker(maintenance)
+        with pytest.raises(RuntimeError, match="never attached"):
+            tracker.summary()
+
+
+class TestStaticNetwork:
+    def test_no_changes_when_static(self):
+        sim, _, tracker = _tracked_sim(vf=0.0)
+        for _ in range(30):
+            sim.step()
+        summary = tracker.summary()
+        assert summary.head_changes == 0
+        assert summary.affiliation_changes == 0
+        assert summary.head_change_rate == 0.0
+
+    def test_tenures_age_with_time(self):
+        sim, _, tracker = _tracked_sim(vf=0.0)
+        for _ in range(20):
+            sim.step()
+        summary = tracker.summary()
+        # Open tenures count at their current age == observed time.
+        assert summary.mean_head_tenure == pytest.approx(
+            summary.observed_time, rel=1e-6
+        )
+        assert summary.mean_affiliation_tenure == pytest.approx(
+            summary.observed_time, rel=1e-6
+        )
+
+
+class TestMobileNetwork:
+    def test_changes_accumulate(self):
+        sim, _, tracker = _tracked_sim(vf=0.08, seed=1)
+        for _ in range(150):
+            sim.step()
+        summary = tracker.summary()
+        assert summary.head_changes > 0
+        assert summary.affiliation_changes >= summary.head_changes
+        assert summary.mean_head_tenure < summary.observed_time
+        assert summary.affiliation_change_rate > 0.0
+
+    def test_faster_mobility_less_stable(self):
+        def affiliation_rate(vf):
+            sim, _, tracker = _tracked_sim(vf=vf, seed=2)
+            for _ in range(120):
+                sim.step()
+            return tracker.summary().affiliation_change_rate
+
+        assert affiliation_rate(0.12) > affiliation_rate(0.02)
+
+    def test_affiliation_rate_tracks_cluster_message_rate(self):
+        """Each affiliation change costs exactly one CLUSTER message,
+        so the two rates must agree."""
+        sim, maintenance, tracker = _tracked_sim(vf=0.06, seed=3)
+        sim.stats.start_measuring()
+        for _ in range(200):
+            sim.step()
+        summary = tracker.summary()
+        cluster_rate = sim.stats.per_node_frequency("cluster")
+        assert summary.affiliation_change_rate == pytest.approx(
+            cluster_rate, rel=0.05
+        )
+
+    def test_summary_type(self):
+        sim, _, tracker = _tracked_sim(seed=4)
+        sim.step()
+        assert isinstance(tracker.summary(), StabilitySummary)

@@ -1,0 +1,121 @@
+"""Tests for the torus connectivity/degree variant.
+
+These quantify the window-vs-torus gap: the simulator wraps (as does
+the paper's own RWP variant), so its degree follows the torus metric,
+exceeding Claim 1's bounded-window degree by the boundary factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degree import expected_degree, expected_torus_degree
+from repro.core.geometry import torus_connectivity_probability
+from repro.spatial import Boundary, SquareRegion
+
+
+class TestTorusConnectivity:
+    def test_small_radius_is_disk_area(self):
+        assert torus_connectivity_probability(0.3) == pytest.approx(
+            math.pi * 0.09
+        )
+
+    def test_branch_continuity_at_half(self):
+        below = torus_connectivity_probability(0.5 - 1e-9)
+        above = torus_connectivity_probability(0.5 + 1e-9)
+        assert below == pytest.approx(above, abs=1e-6)
+
+    def test_full_coverage(self):
+        assert torus_connectivity_probability(math.sqrt(0.5)) == pytest.approx(
+            1.0, abs=1e-9
+        )
+        assert torus_connectivity_probability(1.0) == 1.0
+
+    def test_branch_continuity_at_diagonal(self):
+        just_below = torus_connectivity_probability(math.sqrt(0.5) - 1e-9)
+        assert just_below == pytest.approx(1.0, abs=1e-6)
+
+    def test_side_scaling(self):
+        assert torus_connectivity_probability(3.0, side=10.0) == pytest.approx(
+            torus_connectivity_probability(0.3)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            torus_connectivity_probability(0.1, side=0.0)
+        with pytest.raises(ValueError):
+            torus_connectivity_probability(-0.1)
+
+    def test_matches_monte_carlo_segment_branch(self):
+        region = SquareRegion(1.0, Boundary.TORUS)
+        rng = np.random.default_rng(0)
+        r = 0.6  # in the segment branch
+        p = rng.uniform(size=(200_000, 2))
+        q = rng.uniform(size=(200_000, 2))
+        diff = p - q
+        diff -= np.round(diff)
+        dist = np.hypot(diff[:, 0], diff[:, 1])
+        empirical = float(np.mean(dist <= r))
+        assert torus_connectivity_probability(r) == pytest.approx(
+            empirical, abs=0.005
+        )
+
+
+class TestTorusDegree:
+    def test_exceeds_window_degree(self):
+        for r in (0.05, 0.15, 0.3):
+            window = float(expected_degree(400, 400.0, r))
+            torus = expected_torus_degree(400, 400.0, r)
+            assert torus > window
+
+    def test_matches_simulation_degree(self):
+        region = SquareRegion(1.0, Boundary.TORUS)
+        n, r = 300, 0.15
+        degrees = []
+        for seed in range(8):
+            positions = region.uniform_positions(n, seed)
+            degrees.append(region.adjacency(positions, r).sum(axis=1).mean())
+        assert expected_torus_degree(n, float(n), r) == pytest.approx(
+            float(np.mean(degrees)), rel=0.03
+        )
+
+    def test_explains_hello_residual(self):
+        """Replacing Claim 1's window degree with the torus degree
+        removes most of the systematic f_hello underestimate."""
+        from repro.core.linkdynamics import bcv_link_generation_rate
+        from repro.core.params import NetworkParameters
+        from repro.mobility import EpochRandomWaypointModel
+        from repro.sim import HelloProtocol, Simulation
+
+        params = NetworkParameters.from_fractions(
+            n_nodes=200, range_fraction=0.15, velocity_fraction=0.05
+        )
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=4
+        )
+        sim.attach(HelloProtocol("event"))
+        stats = sim.run(duration=15.0, warmup=2.0)
+        measured = stats.per_node_frequency("hello")
+        torus_degree = expected_torus_degree(
+            params.n_nodes, params.density, params.tx_range
+        )
+        predicted = bcv_link_generation_rate(
+            torus_degree, params.tx_range, params.velocity
+        )
+        assert measured == pytest.approx(predicted, rel=0.08)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.5))
+def test_torus_probability_bounds_property(r):
+    value = torus_connectivity_probability(r)
+    assert 0.0 <= value <= 1.0
+    # Dominates the bounded-square CDF (wrapping only shortens paths).
+    from repro.core.geometry import link_distance_cdf
+
+    assert value >= link_distance_cdf(r) - 1e-12

@@ -1,0 +1,116 @@
+"""Tests for mobility trace recording and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mobility import (
+    ConstantVelocityModel,
+    MobilityTrace,
+    TraceRecorder,
+    TraceReplayModel,
+)
+from repro.spatial import Boundary, SquareRegion
+
+
+@pytest.fixture
+def recorded(unit_open_region=None):
+    region = SquareRegion(1.0, Boundary.OPEN)
+    recorder = TraceRecorder(ConstantVelocityModel(0.05))
+    recorder.reset(20, region, 42)
+    for _ in range(10):
+        recorder.advance(0.1)
+    return recorder, region
+
+
+class TestMobilityTrace:
+    def test_append_and_length(self):
+        trace = MobilityTrace()
+        trace.append(0.0, np.zeros((3, 2)))
+        trace.append(1.0, np.ones((3, 2)))
+        assert len(trace) == 2
+        assert trace.n_nodes == 3
+
+    def test_rejects_time_regression(self):
+        trace = MobilityTrace()
+        trace.append(1.0, np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            trace.append(0.5, np.ones((2, 2)))
+
+    def test_frames_are_copies(self):
+        trace = MobilityTrace()
+        frame = np.zeros((2, 2))
+        trace.append(0.0, frame)
+        frame[0, 0] = 99.0
+        assert trace.frames[0][0, 0] == 0.0
+
+    def test_empty_trace_errors(self):
+        trace = MobilityTrace()
+        with pytest.raises(ValueError):
+            trace.positions_at(0.0)
+        with pytest.raises(ValueError):
+            _ = trace.n_nodes
+
+    def test_interpolation_midpoint(self):
+        trace = MobilityTrace()
+        trace.append(0.0, np.array([[0.0, 0.0]]))
+        trace.append(1.0, np.array([[1.0, 2.0]]))
+        np.testing.assert_allclose(trace.positions_at(0.5), [[0.5, 1.0]])
+
+    def test_clamping_outside_span(self):
+        trace = MobilityTrace()
+        trace.append(1.0, np.array([[0.1, 0.1]]))
+        trace.append(2.0, np.array([[0.9, 0.9]]))
+        np.testing.assert_allclose(trace.positions_at(0.0), [[0.1, 0.1]])
+        np.testing.assert_allclose(trace.positions_at(5.0), [[0.9, 0.9]])
+
+
+class TestRecorder:
+    def test_records_every_step(self, recorded):
+        recorder, _ = recorded
+        assert len(recorder.trace) == 11  # initial frame + 10 steps
+        assert recorder.trace.times[0] == 0.0
+        assert recorder.trace.times[-1] == pytest.approx(1.0)
+
+    def test_recorder_positions_match_inner(self, recorded):
+        recorder, _ = recorded
+        np.testing.assert_allclose(
+            recorder.positions, recorder.inner.positions
+        )
+
+    def test_reset_clears_trace(self, recorded):
+        recorder, region = recorded
+        recorder.reset(20, region, 1)
+        assert len(recorder.trace) == 1
+
+
+class TestReplay:
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            TraceReplayModel(MobilityTrace())
+
+    def test_replay_matches_recording(self, recorded):
+        recorder, region = recorded
+        replay = TraceReplayModel(recorder.trace)
+        replay.reset(20, region, 0)
+        np.testing.assert_allclose(replay.positions, recorder.trace.frames[0])
+        for k in range(1, 11):
+            replay_positions = replay.advance(0.1)
+            np.testing.assert_allclose(
+                replay_positions, recorder.trace.frames[k], atol=1e-9
+            )
+
+    def test_replay_interpolates_between_frames(self, recorded):
+        recorder, region = recorded
+        replay = TraceReplayModel(recorder.trace)
+        replay.reset(20, region, 0)
+        replay.advance(0.05)
+        expected = 0.5 * (recorder.trace.frames[0] + recorder.trace.frames[1])
+        np.testing.assert_allclose(replay.positions, expected, atol=1e-9)
+
+    def test_wrong_node_count_rejected(self, recorded):
+        recorder, region = recorded
+        replay = TraceReplayModel(recorder.trace)
+        with pytest.raises(ValueError):
+            replay.reset(21, region, 0)
