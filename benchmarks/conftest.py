@@ -6,6 +6,12 @@ pytest-benchmark, saves the rendered table under
 ``benchmarks/results/``, and asserts the artifact's headline shape
 claim.  Full-scale (`N = 400`) tables are produced by
 ``repro-manet run all`` and archived in EXPERIMENTS.md.
+
+Each benchmarked experiment additionally runs under an ambient
+:class:`~repro.obs.timing.PhaseTimer`, so every simulation it spawns
+contributes to a per-phase wall-clock breakdown (mobility, adjacency,
+link diff, each protocol hook) saved next to the table as
+``results/<id>.timing.txt``.
 """
 
 from __future__ import annotations
@@ -37,15 +43,24 @@ def run_quick(benchmark, save_table):
 
     def _run(experiment_id: str):
         from repro.experiments import run_experiment
+        from repro.obs import PhaseTimer, observe
 
-        table = benchmark.pedantic(
-            run_experiment,
-            args=(experiment_id,),
-            kwargs={"quick": True},
-            iterations=1,
-            rounds=1,
-        )
+        timer = PhaseTimer()
+
+        def _timed() -> object:
+            with observe(timer=timer):
+                return run_experiment(experiment_id, quick=True)
+
+        table = benchmark.pedantic(_timed, iterations=1, rounds=1)
         save_table(experiment_id, table)
+        if timer.phases:
+            report = timer.report().render()
+            RESULTS_DIR.mkdir(exist_ok=True)
+            (RESULTS_DIR / f"{experiment_id}.timing.txt").write_text(
+                report + "\n"
+            )
+            print()
+            print(report)
         return table
 
     return _run

@@ -11,6 +11,7 @@ LID is measured in real time during the simulation").
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +26,8 @@ from ..sim import HelloProtocol, Simulation
 from .series import summarize
 
 __all__ = ["SweepPoint", "SweepResult", "measure_point", "run_sweep"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -84,6 +87,7 @@ def _run_once(
     ratios: list[float] = []
     warmup_steps = int(round(warmup / sim.dt))
     measured_steps = max(1, int(round(duration / sim.dt)))
+    sim.trace_run_begin(duration, warmup)
     sim.stats.stop_measuring()
     for _ in range(warmup_steps):
         sim.step()
@@ -94,6 +98,7 @@ def _run_once(
         if step_index % sample_every == 0:
             ratios.append(maintenance.head_ratio())
     sim.stats.stop_measuring()
+    sim.trace_run_end()
 
     frequencies = {
         "f_hello": sim.stats.per_node_frequency("hello"),
@@ -117,10 +122,18 @@ def measure_point(
     if seeds < 1:
         raise ValueError(f"seeds must be positive, got {seeds}")
     algorithm = algorithm or LowestIdClustering()
-    runs = [
-        _run_once(params, seed, duration, warmup, epoch, algorithm)
-        for seed in range(seeds)
-    ]
+    runs = []
+    for seed in range(seeds):
+        logger.debug(
+            "measuring point value=%g seed=%d/%d (N=%d)",
+            parameter_value,
+            seed + 1,
+            seeds,
+            params.n_nodes,
+        )
+        runs.append(
+            _run_once(params, seed, duration, warmup, epoch, algorithm)
+        )
     measured = {
         key: summarize([freqs[key] for freqs, _ in runs]).mean
         for key in ("f_hello", "f_cluster", "f_route")
@@ -158,8 +171,19 @@ def run_sweep(
     (``rho = N / a^2``), which is how the paper's Figure 3 varies
     density.
     """
+    from ..obs.log import progress
+
     result = SweepResult(parameter=parameter)
-    for value in values:
+    values = list(values)
+    for index, value in enumerate(values):
+        progress(
+            "sweep %s: point %d/%d (%s=%g)",
+            parameter,
+            index + 1,
+            len(values),
+            parameter,
+            float(value),
+        )
         if parameter == "tx_range":
             params = base.with_(tx_range=float(value))
         elif parameter == "velocity":

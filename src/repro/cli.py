@@ -5,8 +5,16 @@ Subcommands::
     repro-manet list                     # show all experiment ids
     repro-manet run fig1 [--quick]       # run one experiment
     repro-manet run all [--quick]        # run every experiment
+    repro-manet simulate scenario.json   # run a declarative scenario
+    repro-manet trace-summary t.jsonl    # aggregate a telemetry trace
     repro-manet model --n 400 --rf 0.15 --vf 0.05
                                          # evaluate the closed-form model
+
+``run`` and ``simulate`` accept telemetry flags (see README,
+"Observability"): ``--trace FILE`` streams structured JSONL events,
+``--metrics-json FILE`` exports the metrics registry and per-phase
+timing, ``--progress`` prints progress lines and the timing breakdown,
+and ``-v`` / ``--log-level`` control stdlib logging across the package.
 
 The experiment tables printed here are the series behind the paper's
 figures; EXPERIMENTS.md archives the full-scale output.
@@ -23,6 +31,62 @@ from .core.params import NetworkParameters
 from .experiments import experiment_ids, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+class _CliError(Exception):
+    """User-facing CLI failure: printed to stderr, exit code 2."""
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``run`` and ``simulate``."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write structured JSONL telemetry events to FILE",
+    )
+    parser.add_argument(
+        "--trace-step-every",
+        type=_positive_int,
+        default=10,
+        metavar="K",
+        help="sample only every K-th per-step trace event (default 10)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="FILE",
+        default=None,
+        help="write the metrics registry and timing breakdown to FILE",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print progress lines and a final timing breakdown",
+    )
+    _add_logging_flags(parser)
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        default=None,
+        help="explicit log level (overrides -v)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each experiment's table as DIR/<id>.csv",
     )
+    _add_telemetry_flags(run)
 
     simulate = sub.add_parser(
         "simulate", help="run a JSON scenario through the full stack"
@@ -59,6 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the report as JSON instead of text",
     )
+    _add_telemetry_flags(simulate)
+
+    trace_summary = sub.add_parser(
+        "trace-summary",
+        help="aggregate a JSONL trace into per-category message rates",
+    )
+    trace_summary.add_argument("file", help="trace file written by --trace")
+    trace_summary.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    _add_logging_flags(trace_summary)
 
     sweep = sub.add_parser(
         "sweep", help="sweep one parameter, simulation vs analysis"
@@ -151,43 +229,131 @@ def _run_sweep(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    if args.command == "list":
-        for experiment_id in experiment_ids():
-            print(experiment_id)
-        return 0
-    if args.command == "model":
-        return _run_model(args)
-    if args.command == "sweep":
-        return _run_sweep(args)
-    if args.command == "simulate":
-        import json as _json
+def _run_trace_summary(args) -> int:
+    import json as _json
 
-        from .scenario import load_scenario, run_scenario
+    from .obs import summarize_trace
 
+    try:
+        summary = summarize_trace(args.file)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(summary.render())
+    return 0 if summary.reconciles() else 1
+
+
+def _telemetry_scope(args):
+    """Build the observability context requested by CLI flags.
+
+    Returns ``(context manager, tracer, registry, timer)``; the caller
+    runs the workload inside the context manager and then calls
+    :func:`_finish_telemetry`.
+    """
+    from .obs import JsonlTracer, MetricsRegistry, PhaseTimer, observe
+
+    tracer = None
+    if args.trace is not None:
+        try:
+            tracer = JsonlTracer(args.trace, step_every=args.trace_step_every)
+        except OSError as error:
+            raise _CliError(f"cannot open trace file: {error}") from None
+    registry = MetricsRegistry() if args.metrics_json is not None else None
+    timer = PhaseTimer()
+    return observe(tracer=tracer, registry=registry, timer=timer), tracer, registry, timer
+
+
+def _finish_telemetry(args, tracer, registry, timer) -> None:
+    import json as _json
+    from pathlib import Path
+
+    if tracer is not None:
+        tracer.close()
+    if args.metrics_json is not None:
+        payload = {
+            "schema_version": 1,
+            "metrics": registry.to_dict(),
+            "timing": timer.report().to_dict(),
+        }
+        Path(args.metrics_json).write_text(
+            _json.dumps(payload, indent=2) + "\n"
+        )
+    if args.progress:
+        print()
+        print(timer.report().render())
+
+
+def _run_simulate(args) -> int:
+    import json as _json
+
+    from .scenario import load_scenario, run_scenario
+
+    scope, tracer, registry, timer = _telemetry_scope(args)
+    with scope:
         report = run_scenario(load_scenario(args.scenario))
-        if args.json:
-            print(_json.dumps(report.to_dict(), indent=2))
-        else:
-            print(report.render())
-        return 0
-    if args.command == "run":
-        ids = experiment_ids() if args.experiment == "all" else [args.experiment]
-        csv_dir = None
-        if args.csv is not None:
-            from pathlib import Path
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    _finish_telemetry(args, tracer, registry, timer)
+    return 0
 
-            csv_dir = Path(args.csv)
-            csv_dir.mkdir(parents=True, exist_ok=True)
+
+def _run_run(args) -> int:
+    ids = experiment_ids() if args.experiment == "all" else [args.experiment]
+    csv_dir = None
+    if args.csv is not None:
+        from pathlib import Path
+
+        csv_dir = Path(args.csv)
+        csv_dir.mkdir(parents=True, exist_ok=True)
+    scope, tracer, registry, timer = _telemetry_scope(args)
+    with scope:
         for experiment_id in ids:
             table = run_experiment(experiment_id, quick=args.quick)
             print(table.render())
             print()
             if csv_dir is not None:
                 table.save_csv(csv_dir / f"{experiment_id}.csv")
-        return 0
+    _finish_telemetry(args, tracer, registry, timer)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if hasattr(args, "verbose"):
+        from .obs import configure_logging
+
+        configure_logging(
+            level=args.log_level,
+            verbosity=args.verbose,
+            show_progress=getattr(args, "progress", False),
+        )
+    try:
+        if args.command == "list":
+            for experiment_id in experiment_ids():
+                print(experiment_id)
+            return 0
+        if args.command == "model":
+            return _run_model(args)
+        if args.command == "sweep":
+            return _run_sweep(args)
+        if args.command == "trace-summary":
+            return _run_trace_summary(args)
+        if args.command == "simulate":
+            return _run_simulate(args)
+        if args.command == "run":
+            return _run_run(args)
+    except _CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -116,15 +116,33 @@ class DHopClusterMaintenanceProtocol(Protocol):
                 best = key
         return None if best is None else best[1]
 
-    def _reaffiliate(self, sim: Simulation, node: int) -> None:
+    def _reaffiliate(self, sim: Simulation, node: int, time: float) -> None:
         host = self._admitting_cluster(sim, node)
         if host is not None:
             self.state.make_member(node, host)
         else:
             self.state.make_head(node)
         self._send_cluster_message(sim)
+        if sim.tracer.enabled:
+            became_head = host is None
+            sim.tracer.emit(
+                "cluster_reaffiliation",
+                time,
+                sim=sim.sim_id,
+                node=int(node),
+                head=int(node if became_head else host),
+                role="head" if became_head else "member",
+            )
+            if became_head:
+                sim.tracer.emit(
+                    "head_change",
+                    time,
+                    sim=sim.sim_id,
+                    node=int(node),
+                    kind="elect",
+                )
 
-    def _repair_cluster(self, sim: Simulation, head: int) -> None:
+    def _repair_cluster(self, sim: Simulation, head: int, time: float) -> None:
         """Re-home every orphan of ``head``'s cluster, deterministically."""
         state = self.state
         orphans = self._find_orphans(sim, head)
@@ -135,7 +153,7 @@ class DHopClusterMaintenanceProtocol(Protocol):
                 depths = self._cluster_depths(sim, head)
                 if node in depths:
                     continue
-                self._reaffiliate(sim, node)
+                self._reaffiliate(sim, node, time)
         # A head whose cluster fully drained stays a singleton head —
         # legal in the d-hop model (no P1), no message needed.
 
@@ -149,7 +167,7 @@ class DHopClusterMaintenanceProtocol(Protocol):
         head = int(state.head_of[u])
         if head < 0:
             return
-        self._repair_cluster(sim, head)
+        self._repair_cluster(sim, head, time)
 
     # Link generations never violate P2(d); nothing to do.
 

@@ -97,10 +97,31 @@ class ClusterMaintenanceProtocol(Protocol):
         """Give an orphaned node a new affiliation (one CLUSTER message)."""
         heads = self._neighboring_heads(sim, node)
         if len(heads):
-            self.state.make_member(node, self._best_head(heads))
+            new_head = self._best_head(heads)
+            self.state.make_member(node, new_head)
+            became_head = False
         else:
             self.state.make_head(node)
+            new_head = node
+            became_head = True
         self._send_cluster_message(sim)
+        if sim.tracer.enabled:
+            sim.tracer.emit(
+                "cluster_reaffiliation",
+                time,
+                sim=sim.sim_id,
+                node=int(node),
+                head=int(new_head),
+                role="head" if became_head else "member",
+            )
+            if became_head:
+                sim.tracer.emit(
+                    "head_change",
+                    time,
+                    sim=sim.sim_id,
+                    node=int(node),
+                    kind="elect",
+                )
         self._notify(sim, node, time)
 
     def _resign_head(self, sim: Simulation, loser: int, winner: int, time: float) -> None:
@@ -108,6 +129,22 @@ class ClusterMaintenanceProtocol(Protocol):
         members = self.state.members_of(loser)
         self.state.make_member(loser, winner)
         self._send_cluster_message(sim)
+        if sim.tracer.enabled:
+            sim.tracer.emit(
+                "head_change",
+                time,
+                sim=sim.sim_id,
+                node=int(loser),
+                kind="resign",
+            )
+            sim.tracer.emit(
+                "cluster_reaffiliation",
+                time,
+                sim=sim.sim_id,
+                node=int(loser),
+                head=int(winner),
+                role="member",
+            )
         self._notify(sim, loser, time)
         # Former members re-affiliate, deterministically by index.  The
         # paper counts exactly one CLUSTER message per such node and

@@ -8,6 +8,8 @@ both dispatch through :func:`run_experiment`.
 
 from __future__ import annotations
 
+import logging
+import time
 from collections.abc import Callable
 
 from ..analysis import Table
@@ -29,6 +31,8 @@ from .sec6 import run_sec6
 from .stability import run_stability
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+logger = logging.getLogger(__name__)
 
 EXPERIMENTS: dict[str, Callable[[bool], Table]] = {
     "fig1": run_fig1,
@@ -61,6 +65,8 @@ def experiment_ids() -> list[str]:
 
 def run_experiment(experiment_id: str, quick: bool = False) -> Table:
     """Run one experiment by id."""
+    from ..obs.log import progress
+
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -68,4 +74,16 @@ def run_experiment(experiment_id: str, quick: bool = False) -> Table:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known ids: {known}"
         ) from None
-    return runner(quick)
+    progress(
+        "experiment %s starting (%s)",
+        experiment_id,
+        "quick" if quick else "full scale",
+    )
+    started = time.perf_counter()
+    table = runner(quick)
+    logger.info(
+        "experiment %s finished in %.2fs",
+        experiment_id,
+        time.perf_counter() - started,
+    )
+    return table

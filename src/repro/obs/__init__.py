@@ -1,0 +1,65 @@
+"""Observability subsystem: metrics, tracing, timing and logging.
+
+The simulation stack is instrumented through three orthogonal,
+individually optional channels:
+
+* **metrics** (:mod:`repro.obs.metrics`) — labelled counters, gauges
+  and histograms in a :class:`MetricsRegistry`; backs
+  :class:`~repro.sim.stats.MessageStats` and the CLI's
+  ``--metrics-json`` export;
+* **tracing** (:mod:`repro.obs.tracer`) — schema-versioned structured
+  events (steps, link churn, cluster role changes, message
+  transmissions) written as JSON Lines; the no-op
+  :data:`NULL_TRACER` is the default, so untraced runs pay nothing;
+* **timing** (:mod:`repro.obs.timing`) — per-phase wall-clock
+  accumulation (mobility / adjacency / link diff / each protocol hook)
+  reported by :meth:`~repro.sim.engine.Simulation.timing_report`.
+
+Configuration flows either explicitly (constructor arguments) or via
+the ambient context (:func:`observe`), which is how the CLI turns on
+telemetry for whole experiments without touching their signatures.
+:func:`summarize_trace` closes the loop, folding a trace back into the
+per-category totals and rates that :class:`MessageStats` reported.
+"""
+
+from .context import ObsContext, current, observe
+from .log import PROGRESS_LOGGER, configure_logging, progress
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .summary import RunSummary, TraceSummary, read_trace, summarize_trace
+from .timing import PhaseTimer, PhaseTiming, TimingReport
+from .tracer import (
+    NULL_TRACER,
+    TRACE_EVENTS,
+    TRACE_SCHEMA_VERSION,
+    CollectingTracer,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+)
+
+__all__ = [
+    "ObsContext",
+    "current",
+    "observe",
+    "PROGRESS_LOGGER",
+    "configure_logging",
+    "progress",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunSummary",
+    "TraceSummary",
+    "read_trace",
+    "summarize_trace",
+    "PhaseTimer",
+    "PhaseTiming",
+    "TimingReport",
+    "NULL_TRACER",
+    "TRACE_EVENTS",
+    "TRACE_SCHEMA_VERSION",
+    "CollectingTracer",
+    "JsonlTracer",
+    "NullTracer",
+    "Tracer",
+]

@@ -1,0 +1,72 @@
+"""Ambient observability context.
+
+Experiments build their :class:`~repro.sim.engine.Simulation` objects
+several layers below the CLI, so threading a tracer/registry/timer
+through every experiment signature would bloat the whole call graph.
+Instead an *ambient context* (the pattern stdlib ``logging`` uses) owns
+the current observability configuration; ``Simulation.__init__`` reads
+it when no explicit tracer/timer is passed::
+
+    from repro.obs import JsonlTracer, observe
+
+    with JsonlTracer("run.jsonl") as tracer, observe(tracer=tracer):
+        run_experiment("fig1", quick=True)   # every sim inside traces
+
+Contexts nest; leaving the ``with`` restores the previous one.  The
+default context has the null tracer, no shared registry and no shared
+timer, so nothing changes for code that never touches this module.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from .metrics import MetricsRegistry
+from .timing import PhaseTimer
+from .tracer import NULL_TRACER, Tracer
+
+__all__ = ["ObsContext", "current", "observe"]
+
+
+@dataclass(frozen=True)
+class ObsContext:
+    """One observability configuration scope.
+
+    ``registry`` and ``timer`` being ``None`` means "per-simulation
+    private instances"; a non-None value is shared by every simulation
+    constructed inside the scope (runs are distinguished by a ``sim``
+    label / phase accumulation respectively).
+    """
+
+    tracer: Tracer = NULL_TRACER
+    registry: MetricsRegistry | None = None
+    timer: PhaseTimer | None = None
+
+
+_stack: list[ObsContext] = [ObsContext()]
+
+
+def current() -> ObsContext:
+    """The innermost active context."""
+    return _stack[-1]
+
+
+@contextmanager
+def observe(
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    timer: PhaseTimer | None = None,
+):
+    """Push a context for the ``with`` body; unset fields inherit."""
+    base = current()
+    context = ObsContext(
+        tracer=tracer if tracer is not None else base.tracer,
+        registry=registry if registry is not None else base.registry,
+        timer=timer if timer is not None else base.timer,
+    )
+    _stack.append(context)
+    try:
+        yield context
+    finally:
+        _stack.pop()

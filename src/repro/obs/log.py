@@ -1,0 +1,97 @@
+"""Logging configuration for the ``repro`` package.
+
+Every module logs through the stdlib ``logging`` hierarchy under the
+``repro`` root logger; nothing is emitted unless the embedding
+application (or the CLI via ``-v`` / ``--log-level``) configures a
+handler.  Progress reporting — the human-facing "sweep point 3/5" kind
+of line — goes to the dedicated ``repro.progress`` logger so it can be
+switched on (``--progress``) without also enabling debug noise.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["configure_logging", "progress", "PROGRESS_LOGGER"]
+
+#: Logger name carrying user-facing progress lines.
+PROGRESS_LOGGER = "repro.progress"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Marker attribute distinguishing handlers we installed from the
+#: application's own, so reconfiguration never duplicates output.
+_MARKER = "_repro_obs_handler"
+
+
+def _install_handler(logger: logging.Logger, formatter: logging.Formatter):
+    for handler in list(logger.handlers):
+        if getattr(handler, _MARKER, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(formatter)
+    setattr(handler, _MARKER, True)
+    logger.addHandler(handler)
+    return handler
+
+
+def configure_logging(
+    level: str | int | None = None,
+    verbosity: int = 0,
+    show_progress: bool = False,
+) -> None:
+    """Wire stderr handlers for the package loggers.
+
+    Parameters
+    ----------
+    level:
+        Explicit level name (``"debug"`` … ``"error"``) or numeric
+        level; overrides ``verbosity``.
+    verbosity:
+        ``-v`` count: 0 → warning, 1 → info, 2+ → debug.
+    show_progress:
+        Additionally emit bare ``repro.progress`` lines.
+    """
+    if level is None:
+        resolved = (
+            logging.WARNING
+            if verbosity <= 0
+            else logging.INFO
+            if verbosity == 1
+            else logging.DEBUG
+        )
+    elif isinstance(level, str):
+        try:
+            resolved = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {sorted(_LEVELS)}"
+            ) from None
+    else:
+        resolved = int(level)
+
+    root = logging.getLogger("repro")
+    _install_handler(
+        root,
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s"),
+    )
+    root.setLevel(resolved)
+
+    progress_logger = logging.getLogger(PROGRESS_LOGGER)
+    progress_logger.propagate = False
+    if show_progress:
+        _install_handler(progress_logger, logging.Formatter("%(message)s"))
+        progress_logger.setLevel(logging.INFO)
+    else:
+        progress_logger.setLevel(logging.WARNING)
+
+
+def progress(message: str, *args) -> None:
+    """Emit one user-facing progress line (no-op unless enabled)."""
+    logging.getLogger(PROGRESS_LOGGER).info(message, *args)

@@ -1,0 +1,197 @@
+"""Label-aware metrics registry: counters, gauges and histograms.
+
+A deliberately small, dependency-free take on the Prometheus data
+model.  A :class:`MetricsRegistry` hands out metric instruments keyed
+by ``(name, labels)``; asking twice for the same instrument returns the
+same object, so independent components can share accumulation points.
+:class:`~repro.sim.stats.MessageStats` is backed by one of these
+registries (``messages_total`` / ``bits_total`` counters labelled by
+category), and the CLI's ``--metrics-json`` flag serializes a shared
+registry via :meth:`MetricsRegistry.to_dict`.
+
+The instruments are plain attribute-bumping objects — no locks, no
+background collection — because the simulator is single-threaded and
+the hot path (one counter increment per recorded control message) must
+stay cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (seconds-flavoured, but any
+#: unit works; +inf is implicit).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing value."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Freely settable value (e.g. current cluster count)."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Bucketed distribution with total count and sum."""
+
+    name: str
+    labels: dict[str, str] = field(default_factory=dict)
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: list[int] = field(default_factory=list)
+    count: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if tuple(self.bounds) != tuple(sorted(self.bounds)):
+            raise ValueError("histogram bounds must be sorted ascending")
+        if not self.bucket_counts:
+            # One overflow bucket beyond the last bound.
+            self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[position] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def mean(self) -> float:
+        """Mean of all observations (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.sum / self.count
+
+
+class MetricsRegistry:
+    """Home of every metric instrument one observation scope produces.
+
+    Instruments are created on first request and shared afterwards; a
+    name may only ever be used with a single instrument kind.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[tuple[str, str], ...], object] = {}
+        self._kinds: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: dict[str, str], factory):
+        registered = self._kinds.setdefault(name, kind)
+        if registered != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {registered}, "
+                f"cannot re-register as a {kind}"
+            )
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter ``name`` with ``labels``, created on first use."""
+        labels = {k: str(v) for k, v in labels.items()}
+        return self._get(
+            "counter", name, labels, lambda: Counter(name, labels)
+        )
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge ``name`` with ``labels``, created on first use."""
+        labels = {k: str(v) for k, v in labels.items()}
+        return self._get("gauge", name, labels, lambda: Gauge(name, labels))
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: str
+    ) -> Histogram:
+        """The histogram ``name`` with ``labels``, created on first use."""
+        labels = {k: str(v) for k, v in labels.items()}
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        return self._get(
+            "histogram", name, labels, lambda: Histogram(name, labels, bounds)
+        )
+
+    # ------------------------------------------------------------------
+    def collect(self):
+        """All instruments, in registration order."""
+        return list(self._metrics.values())
+
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot of every instrument."""
+        counters, gauges, histograms = [], [], []
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                counters.append(
+                    {
+                        "name": metric.name,
+                        "labels": metric.labels,
+                        "value": metric.value,
+                    }
+                )
+            elif isinstance(metric, Gauge):
+                gauges.append(
+                    {
+                        "name": metric.name,
+                        "labels": metric.labels,
+                        "value": metric.value,
+                    }
+                )
+            elif isinstance(metric, Histogram):
+                histograms.append(
+                    {
+                        "name": metric.name,
+                        "labels": metric.labels,
+                        "bounds": list(metric.bounds),
+                        "bucket_counts": list(metric.bucket_counts),
+                        "count": metric.count,
+                        "sum": metric.sum,
+                    }
+                )
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

@@ -1,0 +1,225 @@
+"""Trace aggregation: turn a JSONL trace back into per-category rates.
+
+This is the read side of :class:`~repro.obs.tracer.JsonlTracer` and the
+engine behind ``repro-manet trace-summary``: it folds the ``msg_tx``
+event stream into per-category message/bit totals (per simulation run
+and overall) and — when ``run_begin`` / ``run_end`` events are present —
+derives the paper's per-node frequencies and checks that the streamed
+events *exactly* reproduce the totals the run's
+:class:`~repro.sim.stats.MessageStats` reported.  A trace that fails
+reconciliation means events were lost or double-counted somewhere,
+which is precisely the regression this closed loop exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .tracer import TRACE_SCHEMA_VERSION
+
+__all__ = ["RunSummary", "TraceSummary", "read_trace", "summarize_trace"]
+
+
+@dataclass
+class RunSummary:
+    """Per-simulation aggregation of one trace."""
+
+    sim: int
+    messages: dict[str, int] = field(default_factory=dict)
+    bits: dict[str, float] = field(default_factory=dict)
+    n_nodes: int | None = None
+    measured_time: float | None = None
+    reported_totals: dict | None = None
+
+    def frequencies(self) -> dict[str, float] | None:
+        """Per-node message frequencies, when run metadata is present."""
+        if not self.n_nodes or not self.measured_time:
+            return None
+        scale = self.n_nodes * self.measured_time
+        return {
+            category: count / scale
+            for category, count in sorted(self.messages.items())
+        }
+
+    def mismatches(self) -> list[str]:
+        """Discrepancies between streamed events and reported totals."""
+        if self.reported_totals is None:
+            return []
+        problems = []
+        categories = set(self.reported_totals) | set(self.messages)
+        for category in sorted(categories):
+            reported = self.reported_totals.get(category, {})
+            expected_messages = int(reported.get("messages", 0))
+            expected_bits = float(reported.get("bits", 0.0))
+            seen_messages = self.messages.get(category, 0)
+            seen_bits = self.bits.get(category, 0.0)
+            if seen_messages != expected_messages:
+                problems.append(
+                    f"sim {self.sim} {category}: traced {seen_messages} "
+                    f"messages, run_end reported {expected_messages}"
+                )
+            if abs(seen_bits - expected_bits) > 1e-6 * max(1.0, expected_bits):
+                problems.append(
+                    f"sim {self.sim} {category}: traced {seen_bits:.6g} "
+                    f"bits, run_end reported {expected_bits:.6g}"
+                )
+        return problems
+
+
+@dataclass
+class TraceSummary:
+    """Aggregation of a whole trace file (possibly many runs)."""
+
+    path: str
+    records: int = 0
+    event_counts: dict[str, int] = field(default_factory=dict)
+    runs: dict[int, RunSummary] = field(default_factory=dict)
+    first_time: float | None = None
+    last_time: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def messages(self) -> dict[str, int]:
+        """Per-category message totals across every run."""
+        totals: dict[str, int] = {}
+        for run in self.runs.values():
+            for category, count in run.messages.items():
+                totals[category] = totals.get(category, 0) + count
+        return totals
+
+    @property
+    def bits(self) -> dict[str, float]:
+        """Per-category bit totals across every run."""
+        totals: dict[str, float] = {}
+        for run in self.runs.values():
+            for category, count in run.bits.items():
+                totals[category] = totals.get(category, 0.0) + count
+        return totals
+
+    def mismatches(self) -> list[str]:
+        """All reconciliation problems across runs (empty when clean)."""
+        problems: list[str] = []
+        for sim in sorted(self.runs):
+            problems.extend(self.runs[sim].mismatches())
+        return problems
+
+    def reconciles(self) -> bool:
+        """Whether every run's events reproduce its reported totals."""
+        return not self.mismatches()
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable view."""
+        return {
+            "path": self.path,
+            "records": self.records,
+            "events": dict(sorted(self.event_counts.items())),
+            "time_span": [self.first_time, self.last_time],
+            "messages": dict(sorted(self.messages.items())),
+            "bits": dict(sorted(self.bits.items())),
+            "runs": [
+                {
+                    "sim": run.sim,
+                    "n_nodes": run.n_nodes,
+                    "measured_time": run.measured_time,
+                    "messages": dict(sorted(run.messages.items())),
+                    "bits": dict(sorted(run.bits.items())),
+                    "frequencies": run.frequencies(),
+                }
+                for _, run in sorted(self.runs.items())
+            ],
+            "reconciles": self.reconciles(),
+            "mismatches": self.mismatches(),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [f"trace: {self.path}  ({self.records} records)"]
+        if self.first_time is not None:
+            lines.append(
+                f"  time span: {self.first_time:.4g} .. {self.last_time:.4g}"
+            )
+        for event, count in sorted(self.event_counts.items()):
+            lines.append(f"  {event:24s} {count:10d} events")
+        lines.append("per-category message totals:")
+        bits = self.bits
+        for category, count in sorted(self.messages.items()):
+            lines.append(
+                f"  {category:16s} {count:10d} msgs {bits[category]:14.4g} bits"
+            )
+        for sim, run in sorted(self.runs.items()):
+            frequencies = run.frequencies()
+            if frequencies is None:
+                continue
+            lines.append(
+                f"sim {sim} (N={run.n_nodes}, T={run.measured_time:.4g}):"
+            )
+            for category, rate in frequencies.items():
+                lines.append(f"  {category:16s} {rate:10.4g} msgs/node/t")
+        problems = self.mismatches()
+        if problems:
+            lines.append("RECONCILIATION FAILED:")
+            lines.extend(f"  {p}" for p in problems)
+        elif any(
+            run.reported_totals is not None for run in self.runs.values()
+        ):
+            lines.append(
+                "reconciliation: traced msg_tx events match reported totals"
+            )
+        return "\n".join(lines)
+
+
+def read_trace(path):
+    """Yield every record of a JSONL trace, checking the schema version."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from None
+            version = record.get("schema")
+            if version != TRACE_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}:{line_number}: unsupported trace schema "
+                    f"version {version!r} (supported: {TRACE_SCHEMA_VERSION})"
+                )
+            yield record
+
+
+def summarize_trace(path) -> TraceSummary:
+    """Aggregate a trace file into a :class:`TraceSummary`."""
+    summary = TraceSummary(path=str(path))
+    for record in read_trace(path):
+        summary.records += 1
+        event = record.get("event", "?")
+        summary.event_counts[event] = summary.event_counts.get(event, 0) + 1
+        time = record.get("t")
+        if time is not None:
+            if summary.first_time is None:
+                summary.first_time = time
+            summary.last_time = time
+        sim = int(record.get("sim", 0))
+        run = summary.runs.get(sim)
+        if run is None:
+            run = summary.runs[sim] = RunSummary(sim=sim)
+        if event == "msg_tx":
+            category = record["category"]
+            run.messages[category] = run.messages.get(category, 0) + int(
+                record.get("messages", 1)
+            )
+            run.bits[category] = run.bits.get(category, 0.0) + float(
+                record.get("bits", 0.0)
+            )
+        elif event == "run_begin":
+            run.n_nodes = int(record["n_nodes"])
+        elif event == "run_end":
+            run.measured_time = float(record["measured_time"])
+            run.reported_totals = record.get("totals")
+    return summary

@@ -1,0 +1,204 @@
+"""Structured event tracing for simulation runs.
+
+A tracer receives every noteworthy event of a simulation — steps, link
+churn, cluster role changes, control-message transmissions — as a
+``(event, time, **fields)`` triple and decides what to do with it.  The
+default :data:`NULL_TRACER` does nothing and costs one attribute check
+per potential emission, so an untraced simulation runs at full speed.
+
+:class:`JsonlTracer` writes schema-versioned JSON Lines records::
+
+    {"schema": 1, "event": "msg_tx", "t": 3.25, "sim": 0,
+     "category": "hello", "messages": 2, "bits": 96.0}
+
+Event vocabulary (``TRACE_EVENTS``):
+
+``run_begin`` / ``run_end``
+    Measurement-run boundaries with parameters and final per-category
+    totals — ``run_end.totals`` lets a trace be reconciled against the
+    ``msg_tx`` stream (see :mod:`repro.obs.summary`).
+``step``
+    One simulation step (sampled by ``step_every``): link up/down
+    counts at that step.
+``link_up`` / ``link_down``
+    One link appeared/disappeared between nodes ``u`` and ``v``.
+``head_change``
+    A node gained (``kind="elect"``) or lost (``kind="resign"``) the
+    cluster-head role.
+``cluster_reaffiliation``
+    A node changed its cluster affiliation; ``role`` is its new role.
+``msg_tx``
+    Control messages transmitted: ``category``, ``messages``, ``bits``.
+    Emitted only inside the measurement window, so per-category sums
+    reproduce :class:`~repro.sim.stats.MessageStats` totals exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_EVENTS",
+    "RESERVED_FIELDS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "CollectingTracer",
+    "JsonlTracer",
+]
+
+#: Bump when a record's field meaning changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: Record keys owned by the envelope; event fields must not use them
+#: (``v`` would collide with a link event's second endpoint otherwise).
+RESERVED_FIELDS = frozenset({"schema", "event", "t"})
+
+#: The known event vocabulary (tracers accept unknown events, readers
+#: should ignore ones they do not understand).
+TRACE_EVENTS = frozenset(
+    {
+        "run_begin",
+        "run_end",
+        "step",
+        "link_up",
+        "link_down",
+        "head_change",
+        "cluster_reaffiliation",
+        "msg_tx",
+    }
+)
+
+
+def _jsonable(value):
+    """Coerce NumPy scalars so records serialize cleanly."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serializable: {value!r}")
+
+
+class Tracer:
+    """Base tracer: a no-op sink.
+
+    Emission sites guard with ``tracer.enabled`` before building field
+    dicts, so a disabled tracer costs one attribute read.
+    """
+
+    #: Whether emission sites should bother constructing events.
+    enabled: bool = False
+
+    def emit(self, event: str, time: float, **fields) -> None:
+        """Record one event at simulated ``time``."""
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The default tracer: drops everything."""
+
+
+#: Shared singleton used wherever no tracer was configured.
+NULL_TRACER = NullTracer()
+
+
+class CollectingTracer(Tracer):
+    """Keeps events in memory as dicts — for tests and notebooks."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, event: str, time: float, **fields) -> None:
+        self.records.append({"event": event, "t": float(time), **fields})
+
+    def of(self, event: str) -> list[dict]:
+        """All collected records of one event type."""
+        return [r for r in self.records if r["event"] == event]
+
+
+class JsonlTracer(Tracer):
+    """Writes one JSON object per line to ``path`` (or a file object).
+
+    Parameters
+    ----------
+    path:
+        Output path (truncated) or an open text file object.
+    events:
+        When given, only these event types are written (filtering).
+    step_every:
+        Write only every ``step_every``-th ``step`` event (sampling);
+        all other event types are unaffected.  ``step`` events are the
+        per-step heartbeat, so this is the knob that keeps full-rate
+        tracing cheap on long runs.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        path,
+        events=None,
+        step_every: int = 1,
+    ) -> None:
+        if step_every < 1:
+            raise ValueError(f"step_every must be >= 1, got {step_every}")
+        if events is not None:
+            events = frozenset(events)
+            unknown = events - TRACE_EVENTS
+            if unknown:
+                raise ValueError(
+                    f"unknown trace events {sorted(unknown)}; "
+                    f"known: {sorted(TRACE_EVENTS)}"
+                )
+        self._events = events
+        self.step_every = step_every
+        self.emitted = 0
+        self.suppressed = 0
+        self._steps_seen = 0
+        if hasattr(path, "write"):
+            self._fh = path
+            self._owns_fh = False
+        else:
+            self._fh = Path(path).open("w", encoding="utf-8")
+            self._owns_fh = True
+
+    # ------------------------------------------------------------------
+    def emit(self, event: str, time: float, **fields) -> None:
+        if self._events is not None and event not in self._events:
+            self.suppressed += 1
+            return
+        if event == "step":
+            self._steps_seen += 1
+            if (self._steps_seen - 1) % self.step_every:
+                self.suppressed += 1
+                return
+        if RESERVED_FIELDS & fields.keys():
+            clash = sorted(RESERVED_FIELDS & fields.keys())
+            raise ValueError(f"event fields shadow envelope keys: {clash}")
+        record = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "event": event,
+            "t": float(time),
+        }
+        record.update(fields)
+        self._fh.write(
+            json.dumps(record, separators=(",", ":"), default=_jsonable)
+        )
+        self._fh.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._owns_fh and not self._fh.closed:
+            self._fh.close()
+        elif not self._owns_fh:
+            self._fh.flush()

@@ -30,6 +30,7 @@ Example scenario::
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -67,6 +68,8 @@ from .sim import (
 from .spatial import Boundary
 
 __all__ = ["ScenarioConfig", "ScenarioReport", "run_scenario", "load_scenario"]
+
+logger = logging.getLogger(__name__)
 
 _CLUSTERING_ALGORITHMS = {
     "lid": LowestIdClustering,
@@ -211,6 +214,14 @@ def load_scenario(path) -> ScenarioConfig:
 
 def run_scenario(config: ScenarioConfig) -> ScenarioReport:
     """Assemble the stack described by ``config``, run it, summarize."""
+    logger.info(
+        "scenario %s: N=%d routing=%s duration=%g warmup=%g",
+        config.name,
+        config.n_nodes,
+        config.routing,
+        config.duration,
+        config.warmup,
+    )
     params = config.network_parameters()
     mobility = _build_mobility(config.mobility, params.velocity)
     sim = Simulation(

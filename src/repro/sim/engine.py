@@ -9,6 +9,13 @@ order — to attached protocols (HELLO beaconing, clustering maintenance,
 routing).  Message accounting flows into a shared
 :class:`~repro.sim.stats.MessageStats`.
 
+The kernel is fully instrumented (see :mod:`repro.obs`): every step
+charges its phases (mobility advance, adjacency recompute, link diff,
+each protocol's hooks) to a :class:`~repro.obs.timing.PhaseTimer`, and
+a tracer — the no-op null tracer unless one is configured explicitly or
+through the ambient observability context — receives structured
+``step`` / ``link_up`` / ``link_down`` / ``msg_tx`` events.
+
 The step size must be small enough that a link is unlikely to appear
 *and* disappear within one step; :func:`recommended_step` provides the
 standard choice (a small fraction of ``r / v``).
@@ -16,10 +23,16 @@ standard choice (a small fraction of ``r / v``).
 
 from __future__ import annotations
 
+import itertools
+import logging
+from time import perf_counter
+
 import numpy as np
 
 from ..core.params import NetworkParameters
 from ..mobility.base import MobilityModel
+from ..obs import context as obs_context
+from ..obs.timing import PhaseTimer, TimingReport
 from ..spatial import (
     Boundary,
     LinkEvents,
@@ -31,6 +44,8 @@ from ..spatial import (
 from .stats import MessageStats
 
 __all__ = ["Protocol", "Simulation", "recommended_step"]
+
+logger = logging.getLogger(__name__)
 
 
 def recommended_step(tx_range: float, velocity: float, fraction: float = 0.05) -> float:
@@ -53,6 +68,11 @@ class Protocol:
     Subclasses override the hooks they need.  Hook order per step:
     ``on_step_begin`` → link events (``on_link_up`` / ``on_link_down``,
     interleaved in deterministic pair order) → ``on_step_end``.
+
+    Every subclass must declare a distinct ``name``: it is the label
+    under which the protocol's hook time is charged
+    (``protocol:<name>`` in the timing report) and the key
+    :meth:`Simulation.attach` uses to reject double-attachment.
     """
 
     name: str = "protocol"
@@ -89,7 +109,15 @@ class Simulation:
         Step size; defaults to :func:`recommended_step`.
     seed:
         Seed for mobility and any protocol randomness.
+    tracer:
+        Structured event sink; defaults to the ambient observability
+        context's tracer (the no-op null tracer unless configured).
+    timer:
+        Phase timer; defaults to the ambient context's shared timer,
+        or a private one when none is configured.
     """
+
+    _instance_ids = itertools.count()
 
     def __init__(
         self,
@@ -98,6 +126,8 @@ class Simulation:
         boundary: Boundary = Boundary.TORUS,
         dt: float | None = None,
         seed: int | None = 0,
+        tracer=None,
+        timer: PhaseTimer | None = None,
     ) -> None:
         self.params = params
         self.region = SquareRegion(params.side, boundary)
@@ -108,7 +138,27 @@ class Simulation:
         if self.dt <= 0.0:
             raise ValueError(f"dt must be positive, got {self.dt}")
         self.rng = np.random.default_rng(seed)
-        self.stats = MessageStats(params.n_nodes)
+        self.seed = seed
+
+        context = obs_context.current()
+        #: Sequential id distinguishing this run's events in shared
+        #: traces and registries.
+        self.sim_id = next(Simulation._instance_ids)
+        self.tracer = tracer if tracer is not None else context.tracer
+        self.timer = timer if timer is not None else (
+            context.timer if context.timer is not None else PhaseTimer()
+        )
+        if context.registry is not None:
+            self.stats = MessageStats(
+                params.n_nodes,
+                registry=context.registry,
+                labels={"sim": str(self.sim_id)},
+            )
+        else:
+            self.stats = MessageStats(params.n_nodes)
+        if self.tracer.enabled:
+            self.stats.on_record = self._trace_msg_tx
+
         self.time = 0.0
         self._protocols: list[Protocol] = []
 
@@ -121,6 +171,70 @@ class Simulation:
         self.adjacency = compute_adjacency(
             self.region, self.mobility.positions, params.tx_range, self._index
         )
+        logger.debug(
+            "sim %d: N=%d side=%.4g r=%.4g v=%.4g dt=%.4g seed=%s",
+            self.sim_id,
+            params.n_nodes,
+            params.side,
+            params.tx_range,
+            params.velocity,
+            self.dt,
+            seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _trace_msg_tx(self, category: str, messages: int, bits: float) -> None:
+        self.tracer.emit(
+            "msg_tx",
+            self.time,
+            sim=self.sim_id,
+            category=category,
+            messages=int(messages),
+            bits=float(bits),
+        )
+
+    def trace_run_begin(self, duration: float, warmup: float) -> None:
+        """Emit the ``run_begin`` boundary event (no-op when untraced).
+
+        :meth:`run` calls this automatically; drivers that step the
+        simulation manually (e.g. sweeps sampling mid-run state) should
+        call it when opening their measurement window so traces stay
+        reconcilable.
+        """
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "run_begin",
+                self.time,
+                sim=self.sim_id,
+                n_nodes=self.params.n_nodes,
+                dt=self.dt,
+                duration=float(duration),
+                warmup=float(warmup),
+                protocols=[p.name for p in self._protocols],
+            )
+
+    def trace_run_end(self) -> None:
+        """Emit ``run_end`` with final totals (no-op when untraced)."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "run_end",
+                self.time,
+                sim=self.sim_id,
+                measured_time=self.stats.measured_time,
+                totals={
+                    category: {
+                        "messages": totals.messages,
+                        "bits": totals.bits,
+                    }
+                    for category, totals in self.stats.totals.items()
+                },
+            )
+
+    def timing_report(self) -> TimingReport:
+        """Per-phase wall-clock breakdown accumulated so far."""
+        return self.timer.report()
 
     # ------------------------------------------------------------------
     # Topology accessors
@@ -151,7 +265,19 @@ class Simulation:
     # Protocol management
     # ------------------------------------------------------------------
     def attach(self, protocol: Protocol) -> Protocol:
-        """Attach a protocol; returns it for chaining."""
+        """Attach a protocol; returns it for chaining.
+
+        Protocol names must be unique per simulation — they key the
+        timing/trace labels, so a collision would silently merge two
+        protocols' telemetry.
+        """
+        for existing in self._protocols:
+            if existing.name == protocol.name:
+                raise ValueError(
+                    f"a protocol named {protocol.name!r} is already "
+                    "attached; give each attached protocol a distinct "
+                    "`name`"
+                )
         self._protocols.append(protocol)
         protocol.on_attach(self)
         return protocol
@@ -195,27 +321,71 @@ class Simulation:
     # ------------------------------------------------------------------
     def step(self) -> LinkEvents:
         """Advance one step and deliver link events; returns the events."""
+        timer = self.timer
+        t0 = perf_counter()
         positions = self.mobility.advance(self.dt)
+        t1 = perf_counter()
         new_adjacency = self._mask_failed(
             compute_adjacency(
                 self.region, positions, self.params.tx_range, self._index
             )
         )
+        t2 = perf_counter()
         events = diff_adjacency(self.adjacency, new_adjacency)
+        t3 = perf_counter()
+        timer.add("mobility", t1 - t0)
+        timer.add("adjacency", t2 - t1)
+        timer.add("link_diff", t3 - t2)
         self.adjacency = new_adjacency
         self.time += self.dt
         self.stats.advance_time(self.dt)
 
-        for protocol in self._protocols:
-            protocol.on_step_begin(self, self.time)
-        for u, v in events.broken:
-            for protocol in self._protocols:
-                protocol.on_link_down(self, int(u), int(v), self.time)
-        for u, v in events.generated:
-            for protocol in self._protocols:
-                protocol.on_link_up(self, int(u), int(v), self.time)
-        for protocol in self._protocols:
-            protocol.on_step_end(self, self.time)
+        tracer = self.tracer
+        if tracer.enabled:
+            for u, v in events.broken:
+                tracer.emit(
+                    "link_down", self.time, sim=self.sim_id, u=int(u), v=int(v)
+                )
+            for u, v in events.generated:
+                tracer.emit(
+                    "link_up", self.time, sim=self.sim_id, u=int(u), v=int(v)
+                )
+
+        protocols = self._protocols
+        if protocols:
+            spent = [0.0] * len(protocols)
+            for index, protocol in enumerate(protocols):
+                h0 = perf_counter()
+                protocol.on_step_begin(self, self.time)
+                spent[index] += perf_counter() - h0
+            for u, v in events.broken:
+                u, v = int(u), int(v)
+                for index, protocol in enumerate(protocols):
+                    h0 = perf_counter()
+                    protocol.on_link_down(self, u, v, self.time)
+                    spent[index] += perf_counter() - h0
+            for u, v in events.generated:
+                u, v = int(u), int(v)
+                for index, protocol in enumerate(protocols):
+                    h0 = perf_counter()
+                    protocol.on_link_up(self, u, v, self.time)
+                    spent[index] += perf_counter() - h0
+            for index, protocol in enumerate(protocols):
+                h0 = perf_counter()
+                protocol.on_step_end(self, self.time)
+                spent[index] += perf_counter() - h0
+            for protocol, seconds in zip(protocols, spent):
+                timer.add(f"protocol:{protocol.name}", seconds)
+
+        if tracer.enabled:
+            tracer.emit(
+                "step",
+                self.time,
+                sim=self.sim_id,
+                ups=int(events.generation_count),
+                downs=int(events.break_count),
+                measuring=self.stats.measuring,
+            )
         return events
 
     def run(self, duration: float, warmup: float = 0.0) -> MessageStats:
@@ -231,6 +401,15 @@ class Simulation:
             raise ValueError(f"warmup must be non-negative, got {warmup}")
         warmup_steps = int(round(warmup / self.dt))
         measured_steps = max(1, int(round(duration / self.dt)))
+        self.trace_run_begin(duration, warmup)
+        logger.info(
+            "sim %d: running %d warm-up + %d measured steps (dt=%.4g)",
+            self.sim_id,
+            warmup_steps,
+            measured_steps,
+            self.dt,
+        )
+        wall_start = perf_counter()
         self.stats.stop_measuring()
         for _ in range(warmup_steps):
             self.step()
@@ -238,4 +417,10 @@ class Simulation:
         for _ in range(measured_steps):
             self.step()
         self.stats.stop_measuring()
+        logger.info(
+            "sim %d: finished in %.2fs wall-clock",
+            self.sim_id,
+            perf_counter() - wall_start,
+        )
+        self.trace_run_end()
         return self.stats

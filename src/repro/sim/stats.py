@@ -7,14 +7,23 @@ unit time).  :class:`MessageStats` is the single accounting point every
 protocol records into; it supports a warm-up barrier so transient
 cluster-formation traffic is excluded, exactly as the paper excludes the
 initial cluster formation stage.
+
+Storage is backed by a :class:`~repro.obs.metrics.MetricsRegistry`:
+each category owns a ``messages_total`` and a ``bits_total`` counter
+(labelled ``category=...`` plus any instance labels), so the same
+numbers are available both through the legacy accessor API below and
+through a shared registry export (``repro-manet ... --metrics-json``).
+Reading an unrecorded category returns zero without creating counters —
+a typo'd query can no longer pollute :meth:`frequencies` output.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["MessageStats", "CategoryTotals"]
+from ..obs.metrics import Counter, MetricsRegistry
+
+__all__ = ["MessageStats", "CategoryTotals", "RateSeries"]
 
 
 @dataclass
@@ -25,7 +34,6 @@ class CategoryTotals:
     bits: float = 0.0
 
 
-@dataclass
 class MessageStats:
     """Per-category message counters over a measurement window.
 
@@ -33,18 +41,34 @@ class MessageStats:
     ----------
     n_nodes:
         Number of nodes, for per-node normalization.
+    registry:
+        Metrics registry backing the counters.  Defaults to a private
+        registry; pass a shared one (with distinguishing ``labels``)
+        to aggregate several runs into one export.
+    labels:
+        Extra labels stamped on every counter this instance creates
+        (e.g. ``{"sim": "3"}`` when sharing a registry across runs).
     """
 
-    n_nodes: int
-    totals: dict[str, CategoryTotals] = field(
-        default_factory=lambda: defaultdict(CategoryTotals)
-    )
-    measured_time: float = 0.0
-    _measuring: bool = False
-
-    def __post_init__(self) -> None:
-        if self.n_nodes < 1:
-            raise ValueError(f"n_nodes must be positive, got {self.n_nodes}")
+    def __init__(
+        self,
+        n_nodes: int,
+        registry: MetricsRegistry | None = None,
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.registry = MetricsRegistry() if registry is None else registry
+        self.labels = dict(labels) if labels else {}
+        self.measured_time = 0.0
+        self._measuring = False
+        self._categories: dict[str, tuple[Counter, Counter]] = {}
+        #: Optional ``(category, messages, bits)`` callback fired for
+        #: every record inside the measurement window — the hook the
+        #: simulation uses to mirror records into a trace as ``msg_tx``
+        #: events, guaranteeing trace/stats reconciliation.
+        self.on_record = None
 
     # ------------------------------------------------------------------
     # Measurement window control
@@ -72,6 +96,20 @@ class MessageStats:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
+    def _counters(self, category: str) -> tuple[Counter, Counter]:
+        pair = self._categories.get(category)
+        if pair is None:
+            pair = (
+                self.registry.counter(
+                    "messages_total", category=category, **self.labels
+                ),
+                self.registry.counter(
+                    "bits_total", category=category, **self.labels
+                ),
+            )
+            self._categories[category] = pair
+        return pair
+
     def record(self, category: str, messages: int = 1, bits: float = 0.0) -> None:
         """Record ``messages`` transmissions totalling ``bits`` bits.
 
@@ -81,45 +119,61 @@ class MessageStats:
             raise ValueError("message and bit counts must be non-negative")
         if not self._measuring:
             return
-        entry = self.totals[category]
-        entry.messages += messages
-        entry.bits += bits
+        message_counter, bit_counter = self._counters(category)
+        message_counter.inc(messages)
+        bit_counter.inc(bits)
+        if self.on_record is not None:
+            self.on_record(category, messages, bits)
 
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    @property
+    def totals(self) -> dict[str, CategoryTotals]:
+        """Snapshot of every recorded category's totals."""
+        return {
+            category: CategoryTotals(
+                int(message_counter.value), float(bit_counter.value)
+            )
+            for category, (message_counter, bit_counter) in (
+                self._categories.items()
+            )
+        }
+
     def message_count(self, category: str) -> int:
-        """Total messages recorded in ``category``."""
-        return self.totals[category].messages
+        """Total messages recorded in ``category`` (0 when never seen)."""
+        pair = self._categories.get(category)
+        return 0 if pair is None else int(pair[0].value)
 
     def bit_count(self, category: str) -> float:
-        """Total bits recorded in ``category``."""
-        return self.totals[category].bits
+        """Total bits recorded in ``category`` (0 when never seen)."""
+        pair = self._categories.get(category)
+        return 0.0 if pair is None else float(pair[1].value)
 
     def per_node_frequency(self, category: str) -> float:
         """Messages per node per unit time — the paper's ``f_*`` metrics."""
         if self.measured_time <= 0.0:
             raise ValueError("no measured time accumulated yet")
-        return self.totals[category].messages / (self.n_nodes * self.measured_time)
+        return self.message_count(category) / (self.n_nodes * self.measured_time)
 
     def per_node_overhead(self, category: str) -> float:
         """Bits per node per unit time — the paper's ``O_*`` metrics."""
         if self.measured_time <= 0.0:
             raise ValueError("no measured time accumulated yet")
-        return self.totals[category].bits / (self.n_nodes * self.measured_time)
+        return self.bit_count(category) / (self.n_nodes * self.measured_time)
 
     def frequencies(self) -> dict[str, float]:
         """Per-node frequencies of all recorded categories."""
         return {
             category: self.per_node_frequency(category)
-            for category in sorted(self.totals)
+            for category in sorted(self._categories)
         }
 
     def overheads(self) -> dict[str, float]:
         """Per-node overheads of all recorded categories."""
         return {
             category: self.per_node_overhead(category)
-            for category in sorted(self.totals)
+            for category in sorted(self._categories)
         }
 
     def total_overhead(self) -> float:

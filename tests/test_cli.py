@@ -27,6 +27,41 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "fig1",
+                "--quick",
+                "--trace",
+                "t.jsonl",
+                "--trace-step-every",
+                "5",
+                "--metrics-json",
+                "m.json",
+                "--progress",
+                "-vv",
+            ]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.trace_step_every == 5
+        assert args.metrics_json == "m.json"
+        assert args.progress
+        assert args.verbose == 2
+
+    def test_simulate_accepts_telemetry_flags(self):
+        args = build_parser().parse_args(
+            ["simulate", "s.json", "--trace", "t.jsonl", "--log-level", "info"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.log_level == "info"
+
+    def test_trace_summary_command(self):
+        args = build_parser().parse_args(["trace-summary", "t.jsonl", "--json"])
+        assert args.command == "trace-summary"
+        assert args.file == "t.jsonl"
+        assert args.json
+
 
 class TestMain:
     def test_list_prints_all_ids(self, capsys):

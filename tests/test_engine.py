@@ -14,7 +14,8 @@ from repro.spatial import Boundary
 class RecordingProtocol(Protocol):
     """Captures every hook invocation for ordering assertions."""
 
-    def __init__(self):
+    def __init__(self, name: str = "recording"):
+        self.name = name
         self.events = []
         self.attached_to = None
 
@@ -139,10 +140,19 @@ class TestStepDelivery:
         sim = Simulation(
             params, EpochRandomWaypointModel(params.velocity, 1.0), seed=4
         )
-        a, b = sim.attach(RecordingProtocol()), sim.attach(RecordingProtocol())
+        a = sim.attach(RecordingProtocol("first"))
+        b = sim.attach(RecordingProtocol("second"))
         sim.step()
         assert [e for e in a.events] == [e for e in b.events]
         assert sim.protocols == (a, b)
+
+    def test_duplicate_protocol_name_rejected(self, params):
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=4
+        )
+        sim.attach(RecordingProtocol("twin"))
+        with pytest.raises(ValueError, match="twin"):
+            sim.attach(RecordingProtocol("twin"))
 
 
 class TestRun:

@@ -1,0 +1,344 @@
+"""Unit tests for the observability subsystem (`repro.obs`)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    CollectingTracer,
+    JsonlTracer,
+    MetricsRegistry,
+    NULL_TRACER,
+    PhaseTimer,
+    TRACE_SCHEMA_VERSION,
+    current,
+    observe,
+    read_trace,
+    summarize_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_shift(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(-3.0)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_bucketing_with_overflow(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.sum == 7.0
+        assert histogram.mean() == pytest.approx(7.0 / 3.0)
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram("h").mean())
+
+    def test_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", bounds=(2.0, 1.0))
+
+
+class TestMetricsRegistry:
+    def test_same_name_and_labels_share_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("messages_total", category="hello")
+        b = registry.counter("messages_total", category="hello")
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", x="1", y="2")
+        b = registry.counter("m", y="2", x="1")
+        assert a is b
+
+    def test_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", category="hello")
+        b = registry.counter("m", category="route")
+        assert a is not b
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m")
+
+    def test_to_dict_roundtrips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("msgs", category="hello").inc(3)
+        registry.gauge("clusters").set(7)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(json.dumps(registry.to_dict()))
+        assert payload["counters"] == [
+            {"name": "msgs", "labels": {"category": "hello"}, "value": 3}
+        ]
+        assert payload["gauges"][0]["value"] == 7
+        assert payload["histograms"][0]["bucket_counts"] == [1, 0]
+
+
+class TestPhaseTimer:
+    def test_accumulates_per_phase(self):
+        timer = PhaseTimer()
+        timer.add("mobility", 0.25)
+        timer.add("mobility", 0.75)
+        timer.add("adjacency", 1.0)
+        assert timer.phases == ["mobility", "adjacency"]
+        assert timer.seconds("mobility") == 1.0
+        assert timer.seconds("unseen") == 0.0
+        report = timer.report()
+        assert report.total_seconds == 2.0
+        by_name = {p.phase: p for p in report.phases}
+        assert by_name["mobility"].calls == 2
+        assert by_name["mobility"].mean_seconds == 0.5
+
+    def test_phase_context_manager_times_body(self):
+        timer = PhaseTimer()
+        with timer.phase("work"):
+            pass
+        assert timer.seconds("work") >= 0.0
+        assert timer.report().phases[0].calls == 1
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        timer.reset()
+        assert timer.phases == []
+
+    def test_report_render_and_dict(self):
+        timer = PhaseTimer()
+        timer.add("adjacency", 2.0, calls=4)
+        timer.add("mobility", 1.0, calls=4)
+        rendered = timer.report().render()
+        # Slowest phase first.
+        assert rendered.index("adjacency") < rendered.index("mobility")
+        payload = timer.report().to_dict()
+        assert payload["total_seconds"] == 3.0
+        assert {p["phase"] for p in payload["phases"]} == {
+            "adjacency",
+            "mobility",
+        }
+
+
+class TestTracers:
+    def test_null_tracer_is_disabled_noop(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit("step", 0.0, anything=1)  # must not raise
+        NULL_TRACER.close()
+
+    def test_collecting_tracer(self):
+        tracer = CollectingTracer()
+        tracer.emit("link_up", 1.0, u=0, v=1)
+        tracer.emit("link_down", 2.0, u=0, v=1)
+        assert tracer.of("link_up") == [
+            {"event": "link_up", "t": 1.0, "u": 0, "v": 1}
+        ]
+
+    def test_jsonl_tracer_writes_versioned_records(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit("msg_tx", 1.5, category="hello", messages=2, bits=96.0)
+        records = list(read_trace(path))
+        assert records == [
+            {
+                "schema": TRACE_SCHEMA_VERSION,
+                "event": "msg_tx",
+                "t": 1.5,
+                "category": "hello",
+                "messages": 2,
+                "bits": 96.0,
+            }
+        ]
+
+    def test_jsonl_tracer_coerces_numpy_scalars(self, tmp_path):
+        np = pytest.importorskip("numpy")
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path) as tracer:
+            tracer.emit("link_up", np.float64(1.0), u=np.int64(3), v=4)
+        (record,) = read_trace(path)
+        assert record["u"] == 3
+
+    def test_event_filtering(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path, events={"msg_tx"}) as tracer:
+            tracer.emit("step", 0.1)
+            tracer.emit("msg_tx", 0.1, category="hello", messages=1, bits=1.0)
+        records = list(read_trace(path))
+        assert [r["event"] for r in records] == ["msg_tx"]
+        assert tracer.emitted == 1 and tracer.suppressed == 1
+
+    def test_unknown_event_filter_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace events"):
+            JsonlTracer(tmp_path / "t.jsonl", events={"bogus"})
+
+    def test_step_sampling(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path, step_every=3) as tracer:
+            for index in range(7):
+                tracer.emit("step", float(index))
+        steps = [r["t"] for r in read_trace(path)]
+        assert steps == [0.0, 3.0, 6.0]
+
+    def test_step_sampling_leaves_other_events_alone(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(path, step_every=10) as tracer:
+            for index in range(5):
+                tracer.emit("link_up", float(index), u=0, v=1)
+        assert len(list(read_trace(path))) == 5
+
+    def test_rejects_bad_step_every(self, tmp_path):
+        with pytest.raises(ValueError, match="step_every"):
+            JsonlTracer(tmp_path / "t.jsonl", step_every=0)
+
+
+class TestReadTrace:
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            list(read_trace(path))
+
+    def test_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": 99, "event": "step", "t": 0}\n')
+        with pytest.raises(ValueError, match="schema"):
+            list(read_trace(path))
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"schema": 1, "event": "step", "t": 0}\n\n')
+        assert len(list(read_trace(path))) == 1
+
+
+class TestSummarizeTrace:
+    def _write(self, path, records):
+        path.write_text(
+            "".join(json.dumps({"schema": 1, **r}) + "\n" for r in records)
+        )
+
+    def test_aggregates_msg_tx_per_category(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(
+            path,
+            [
+                {"event": "msg_tx", "t": 1.0, "sim": 0, "category": "hello",
+                 "messages": 2, "bits": 64.0},
+                {"event": "msg_tx", "t": 2.0, "sim": 0, "category": "hello",
+                 "messages": 3, "bits": 96.0},
+                {"event": "msg_tx", "t": 2.0, "sim": 0, "category": "route",
+                 "messages": 1, "bits": 500.0},
+            ],
+        )
+        summary = summarize_trace(path)
+        assert summary.records == 3
+        assert summary.messages == {"hello": 5, "route": 1}
+        assert summary.bits == {"hello": 160.0, "route": 500.0}
+        assert summary.reconciles()  # no run_end => nothing to dispute
+
+    def test_reconciliation_failure_detected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(
+            path,
+            [
+                {"event": "run_begin", "t": 0.0, "sim": 0, "n_nodes": 10},
+                {"event": "msg_tx", "t": 1.0, "sim": 0, "category": "hello",
+                 "messages": 2, "bits": 64.0},
+                {"event": "run_end", "t": 5.0, "sim": 0, "measured_time": 5.0,
+                 "totals": {"hello": {"messages": 3, "bits": 64.0}}},
+            ],
+        )
+        summary = summarize_trace(path)
+        assert not summary.reconciles()
+        assert any("traced 2" in p for p in summary.mismatches())
+        assert "RECONCILIATION FAILED" in summary.render()
+
+    def test_frequencies_from_run_metadata(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(
+            path,
+            [
+                {"event": "run_begin", "t": 0.0, "sim": 2, "n_nodes": 10},
+                {"event": "msg_tx", "t": 1.0, "sim": 2, "category": "hello",
+                 "messages": 50, "bits": 0.0},
+                {"event": "run_end", "t": 5.0, "sim": 2, "measured_time": 5.0,
+                 "totals": {"hello": {"messages": 50, "bits": 0.0}}},
+            ],
+        )
+        summary = summarize_trace(path)
+        run = summary.runs[2]
+        assert run.frequencies() == {"hello": 1.0}
+        payload = summary.to_dict()
+        assert payload["reconciles"] is True
+        assert payload["runs"][0]["frequencies"] == {"hello": 1.0}
+
+
+class TestObsContext:
+    def test_default_context_is_null(self):
+        context = current()
+        assert context.tracer is NULL_TRACER
+        assert context.registry is None and context.timer is None
+
+    def test_observe_nests_and_restores(self):
+        tracer = CollectingTracer()
+        timer = PhaseTimer()
+        with observe(tracer=tracer):
+            assert current().tracer is tracer
+            with observe(timer=timer):
+                # Inner scope inherits the tracer, adds the timer.
+                assert current().tracer is tracer
+                assert current().timer is timer
+            assert current().timer is None
+        assert current().tracer is NULL_TRACER
+
+    def test_observe_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with observe(tracer=CollectingTracer()):
+                raise RuntimeError("boom")
+        assert current().tracer is NULL_TRACER
+
+
+class TestLogging:
+    def test_configure_logging_is_idempotent(self):
+        import logging
+
+        from repro.obs import configure_logging
+
+        configure_logging(verbosity=1)
+        configure_logging(verbosity=1)
+        root = logging.getLogger("repro")
+        marked = [
+            h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(marked) == 1
+        assert root.level == logging.INFO
+        configure_logging(level="debug")
+        assert root.level == logging.DEBUG
+
+    def test_unknown_level_rejected(self):
+        from repro.obs import configure_logging
+
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="chatty")

@@ -49,6 +49,44 @@ class TestRateSeries:
         with pytest.raises(ValueError):
             series.steady_state_rate()
 
+    def test_window_exactly_equal_to_elapsed(self):
+        """A sample landing exactly on the window boundary closes it."""
+        stats = MessageStats(10)
+        stats.start_measuring()
+        series = RateSeries(stats, "hello", window=1.0)
+        series.sample(0.0)
+        stats.record("hello", 20)
+        stats.advance_time(1.0)
+        series.sample(1.0)
+        assert series.times == [1.0]
+        assert series.rates == [pytest.approx(2.0)]  # 20 / (10 nodes * 1.0)
+
+    def test_steady_state_rate_with_one_window(self):
+        """One completed window: skip_fraction truncates to zero skipped."""
+        stats = MessageStats(5)
+        stats.start_measuring()
+        series = RateSeries(stats, "hello", window=1.0)
+        series.sample(0.0)
+        stats.record("hello", 10)
+        series.sample(1.0)
+        assert len(series.rates) == 1
+        assert series.steady_state_rate() == pytest.approx(2.0)
+        # Even an aggressive skip keeps the sole window.
+        assert series.steady_state_rate(skip_fraction=0.9) == pytest.approx(2.0)
+
+    def test_sampling_while_measurement_stopped(self):
+        """Windows elapsing while stats ignore records yield zero rates."""
+        stats = MessageStats(10)
+        series = RateSeries(stats, "hello", window=1.0)
+        series.sample(0.0)
+        stats.record("hello", 50)  # dropped: measurement not started
+        series.sample(1.0)
+        assert series.rates == [pytest.approx(0.0)]
+        stats.start_measuring()
+        stats.record("hello", 30)
+        series.sample(2.0)
+        assert series.rates[-1] == pytest.approx(3.0)
+
     def test_live_simulation_series(self):
         params = NetworkParameters.from_fractions(
             n_nodes=80, range_fraction=0.15, velocity_fraction=0.05

@@ -96,3 +96,63 @@ class TestAccounting:
             stats.record("hello", 2, 8.0)
         assert stats.message_count("hello") == 6
         assert stats.bit_count("hello") == pytest.approx(24.0)
+
+
+class TestReadSideIsolation:
+    """Reading a never-recorded category must not create it."""
+
+    def test_reads_do_not_grow_totals(self, stats):
+        stats.start_measuring()
+        stats.advance_time(1.0)
+        stats.record("hello", 1, 8.0)
+        assert stats.message_count("typo") == 0
+        assert stats.bit_count("typo") == 0.0
+        assert stats.per_node_frequency("typo") == 0.0
+        assert stats.per_node_overhead("typo") == 0.0
+        assert set(stats.totals) == {"hello"}
+
+    def test_reads_do_not_pollute_aggregates(self, stats):
+        stats.start_measuring()
+        stats.advance_time(1.0)
+        stats.record("route", 3, 30.0)
+        stats.message_count("cluster")  # probe an absent category
+        assert set(stats.frequencies()) == {"route"}
+        assert set(stats.overheads()) == {"route"}
+
+    def test_totals_snapshot_is_detached(self, stats):
+        stats.start_measuring()
+        stats.record("hello", 1, 8.0)
+        snapshot = stats.totals
+        snapshot["hello"].messages = 999
+        snapshot["bogus"] = None
+        assert stats.message_count("hello") == 1
+        assert set(stats.totals) == {"hello"}
+
+
+class TestRegistryBacking:
+    def test_counters_live_in_registry(self, stats):
+        stats.start_measuring()
+        stats.record("hello", 4, 32.0)
+        counter = stats.registry.counter("messages_total", category="hello")
+        assert counter.value == 4
+
+    def test_shared_registry_with_labels(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        a = MessageStats(10, registry=registry, labels={"sim": "0"})
+        b = MessageStats(10, registry=registry, labels={"sim": "1"})
+        a.start_measuring()
+        b.start_measuring()
+        a.record("hello", 1, 8.0)
+        b.record("hello", 5, 40.0)
+        assert a.message_count("hello") == 1
+        assert b.message_count("hello") == 5
+
+    def test_on_record_fires_only_inside_window(self, stats):
+        seen = []
+        stats.on_record = lambda *args: seen.append(args)
+        stats.record("hello", 1, 8.0)  # outside window: dropped, no hook
+        stats.start_measuring()
+        stats.record("hello", 2, 16.0)
+        assert seen == [("hello", 2, 16.0)]
