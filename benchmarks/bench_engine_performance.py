@@ -13,7 +13,13 @@ from repro.clustering import LowestIdClustering
 from repro.core.params import NetworkParameters
 from repro.mobility import EpochRandomWaypointModel
 from repro.sim import Simulation
-from repro.spatial import Boundary, SquareRegion, UniformGridIndex
+from repro.spatial import (
+    Boundary,
+    SquareRegion,
+    UniformGridIndex,
+    compute_edges,
+    diff_edge_sets,
+)
 
 
 def test_simulation_step_cost(benchmark):
@@ -24,6 +30,37 @@ def test_simulation_step_cost(benchmark):
         params, EpochRandomWaypointModel(params.velocity, 1.0), seed=0
     )
     benchmark(sim.step)
+
+
+def test_simulation_step_cost_large_grid(benchmark):
+    """Edge-set engine at N=2000 — the grid path the cost model picks."""
+    params = NetworkParameters.from_fractions(
+        n_nodes=2000, range_fraction=0.05, velocity_fraction=0.05
+    )
+    sim = Simulation(
+        params, EpochRandomWaypointModel(params.velocity, 1.0), seed=0
+    )
+    assert sim.connectivity == "grid"
+    benchmark(sim.step)
+
+
+def test_compute_edges_grid_cost(benchmark):
+    region = SquareRegion(1.0, Boundary.TORUS)
+    positions = region.uniform_positions(2000, 0)
+    edges = benchmark(compute_edges, region, positions, 0.05, method="grid")
+    assert len(edges) > 0
+
+
+def test_diff_edge_sets_cost(benchmark):
+    region = SquareRegion(1.0, Boundary.TORUS)
+    edges_a = compute_edges(
+        region, region.uniform_positions(2000, 0), 0.05, method="grid"
+    )
+    edges_b = compute_edges(
+        region, region.uniform_positions(2000, 1), 0.05, method="grid"
+    )
+    events = benchmark(diff_edge_sets, edges_a, edges_b)
+    assert events.change_count > 0
 
 
 def test_lid_formation_cost(benchmark):

@@ -7,6 +7,7 @@ from .series import (
     relative_error,
     summarize,
 )
+from .parallel import TaskTelemetry, resolve_jobs, run_tasks
 from .sweep import SweepPoint, SweepResult, measure_point, run_sweep
 from .validation import CurveVerdict, SweepVerdict, validate_sweep
 from .report import Table, format_table
@@ -17,6 +18,9 @@ __all__ = [
     "is_monotonic",
     "relative_error",
     "summarize",
+    "TaskTelemetry",
+    "resolve_jobs",
+    "run_tasks",
     "SweepPoint",
     "SweepResult",
     "measure_point",

@@ -1,0 +1,289 @@
+"""Engine performance benchmark: edge-set core vs the dense baseline.
+
+``repro-manet bench`` drives this module and writes ``BENCH_engine.json``.
+It answers three questions about the simulation substrate:
+
+* **How much faster is the edge-set core?**  The baseline re-implements
+  the pre-edge-set kernel inline — per-step dense ``O(N^2)`` adjacency
+  recomputation plus matrix diffing, exactly the work the seed engine
+  did — and both paths run the same mobility model with the same seeds,
+  so the steps/sec ratio isolates the connectivity representation.
+* **Where is the dense/grid crossover?**  ``--crossover`` times
+  :func:`~repro.spatial.neighbors.compute_edges` under both methods
+  across sizes; the measured ratio table is the evidence behind
+  ``GRID_CROSSOVER_NODES``.
+* **Does process parallelism pay?**  ``--sweep-jobs`` times an
+  identical small sweep point at several ``jobs`` values; numbers are
+  whatever the current machine supports (a single-core container shows
+  overhead, not speedup — the report records ``cpu_count`` so readers
+  can judge).
+
+Peak RSS is read from ``getrusage`` and is monotone over the process
+lifetime; modes are benchmarked smallest-N-first so the per-mode
+snapshot is still a usable upper bound for that mode.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from ..core.params import NetworkParameters
+from ..mobility import EpochRandomWaypointModel
+from ..obs.timing import PhaseTimer
+from ..sim import Simulation, recommended_step
+from ..spatial import Boundary, SquareRegion, compute_edges, diff_adjacency
+
+__all__ = [
+    "DEFAULT_SIZES",
+    "bench_step_modes",
+    "measure_crossover",
+    "bench_parallel_sweep",
+    "run_bench",
+    "write_bench",
+]
+
+#: Network sizes the step benchmark reports on.
+DEFAULT_SIZES = (100, 500, 2000, 5000)
+
+#: Dense baseline is skipped above this size by default: the O(N^2)
+#: kernel needs ~minutes per point there, and the trend is long clear.
+DEFAULT_DENSE_LIMIT = 2000
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process so far, in kilobytes."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _params_for(n_nodes: int) -> NetworkParameters:
+    return NetworkParameters.from_fractions(
+        n_nodes=n_nodes, range_fraction=0.1, velocity_fraction=0.05
+    )
+
+
+def _phase_dict(timer: PhaseTimer) -> dict[str, float]:
+    return {p.phase: p.seconds for p in timer.report().phases}
+
+
+def _bench_dense_baseline(
+    params: NetworkParameters, steps: int, seed: int = 0
+) -> dict:
+    """Per-step dense adjacency + matrix diff — the pre-edge-set kernel."""
+    region = SquareRegion(params.side, Boundary.TORUS)
+    mobility = EpochRandomWaypointModel(params.velocity, epoch=1.0)
+    mobility.reset(params.n_nodes, region, seed)
+    dt = recommended_step(params.tx_range, params.velocity)
+    adjacency = region.adjacency(mobility.positions, params.tx_range)
+    timer = PhaseTimer()
+    start = perf_counter()
+    for _ in range(steps):
+        t0 = perf_counter()
+        positions = mobility.advance(dt)
+        t1 = perf_counter()
+        new_adjacency = region.adjacency(positions, params.tx_range)
+        t2 = perf_counter()
+        diff_adjacency(adjacency, new_adjacency)
+        t3 = perf_counter()
+        timer.add("mobility", t1 - t0)
+        timer.add("adjacency", t2 - t1)
+        timer.add("link_diff", t3 - t2)
+        adjacency = new_adjacency
+    elapsed = perf_counter() - start
+    return {
+        "mode": "dense-baseline",
+        "n_nodes": params.n_nodes,
+        "steps": steps,
+        "elapsed_s": elapsed,
+        "steps_per_sec": steps / elapsed,
+        "phases_s": _phase_dict(timer),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def _bench_edge_engine(
+    params: NetworkParameters,
+    steps: int,
+    seed: int = 0,
+    connectivity: str = "auto",
+) -> dict:
+    """The live engine: edge-set state through :meth:`Simulation.step`."""
+    timer = PhaseTimer()
+    sim = Simulation(
+        params,
+        EpochRandomWaypointModel(params.velocity, epoch=1.0),
+        seed=seed,
+        timer=timer,
+        connectivity=connectivity,
+    )
+    start = perf_counter()
+    for _ in range(steps):
+        sim.step()
+    elapsed = perf_counter() - start
+    return {
+        "mode": "edge-engine",
+        "n_nodes": params.n_nodes,
+        "connectivity": sim.connectivity,
+        "steps": steps,
+        "elapsed_s": elapsed,
+        "steps_per_sec": steps / elapsed,
+        "phases_s": _phase_dict(timer),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def bench_step_modes(
+    sizes=DEFAULT_SIZES,
+    steps: int = 30,
+    dense_limit: int = DEFAULT_DENSE_LIMIT,
+) -> tuple[list[dict], dict[str, float | None]]:
+    """Benchmark both kernels across ``sizes``.
+
+    Returns ``(results, speedups)`` where ``speedups[str(N)]`` is the
+    edge-engine steps/sec over the dense baseline's (``None`` when the
+    baseline was skipped at that size).
+    """
+    results: list[dict] = []
+    speedups: dict[str, float | None] = {}
+    for n_nodes in sorted(sizes):
+        params = _params_for(n_nodes)
+        edge = _bench_edge_engine(params, steps)
+        results.append(edge)
+        if n_nodes <= dense_limit:
+            dense = _bench_dense_baseline(params, steps)
+            results.append(dense)
+            speedups[str(n_nodes)] = (
+                edge["steps_per_sec"] / dense["steps_per_sec"]
+            )
+        else:
+            speedups[str(n_nodes)] = None
+    return results, speedups
+
+
+def measure_crossover(
+    sizes=(32, 64, 100, 128, 256, 512), repeats: int = 3
+) -> list[dict]:
+    """Time ``compute_edges`` dense vs grid per size (min over repeats).
+
+    ``ratio > 1`` means the grid wins; this table is the measurement
+    behind :data:`~repro.spatial.neighbors.GRID_CROSSOVER_NODES`.
+    """
+    rows = []
+    for n_nodes in sizes:
+        params = _params_for(n_nodes)
+        region = SquareRegion(params.side, Boundary.TORUS)
+        positions = region.uniform_positions(n_nodes, 0)
+        timings = {}
+        for method in ("dense", "grid"):
+            best = np.inf
+            for _ in range(repeats):
+                start = perf_counter()
+                compute_edges(region, positions, params.tx_range, method=method)
+                best = min(best, perf_counter() - start)
+            timings[method] = best
+        rows.append(
+            {
+                "n_nodes": n_nodes,
+                "dense_s": timings["dense"],
+                "grid_s": timings["grid"],
+                "ratio": timings["dense"] / timings["grid"],
+            }
+        )
+    return rows
+
+
+def bench_parallel_sweep(
+    jobs_values=(1, 4),
+    n_nodes: int = 120,
+    seeds: int = 4,
+    duration: float = 4.0,
+) -> dict:
+    """Wall-clock one sweep point at each ``jobs`` value.
+
+    The per-seed work and results are identical across rows (the runner
+    is deterministic), so the wall-clock ratio is pure scheduling.
+    """
+    from .sweep import measure_point
+
+    params = _params_for(n_nodes)
+    rows = []
+    serial_s: float | None = None
+    for jobs in jobs_values:
+        start = perf_counter()
+        measure_point(
+            params,
+            params.tx_range,
+            seeds=seeds,
+            duration=duration,
+            warmup=duration * 0.15,
+            jobs=jobs,
+        )
+        elapsed = perf_counter() - start
+        if jobs == 1:
+            serial_s = elapsed
+        rows.append(
+            {
+                "jobs": jobs,
+                "wall_s": elapsed,
+                "vs_serial": None if serial_s is None else elapsed / serial_s,
+            }
+        )
+    return {
+        "n_nodes": n_nodes,
+        "seeds": seeds,
+        "duration": duration,
+        "rows": rows,
+    }
+
+
+def run_bench(
+    sizes=DEFAULT_SIZES,
+    steps: int = 30,
+    dense_limit: int = DEFAULT_DENSE_LIMIT,
+    crossover: bool = False,
+    sweep_jobs=None,
+) -> dict:
+    """Run the requested benchmark stages and assemble the report."""
+    import os
+
+    payload: dict = {
+        "schema_version": 1,
+        "machine": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "sizes": list(sizes),
+            "steps": steps,
+            "dense_limit": dense_limit,
+        },
+        "notes": [
+            "dense-baseline re-implements the pre-edge-set kernel "
+            "(per-step O(N^2) adjacency + matrix diff) inline",
+            "peak_rss_kb is process-monotone (getrusage); modes run "
+            "smallest-N-first",
+        ],
+    }
+    results, speedups = bench_step_modes(sizes, steps, dense_limit)
+    payload["step_benchmarks"] = results
+    payload["speedup_vs_dense"] = speedups
+    if crossover:
+        payload["crossover"] = measure_crossover()
+    if sweep_jobs:
+        payload["parallel_sweep"] = bench_parallel_sweep(tuple(sweep_jobs))
+    return payload
+
+
+def write_bench(payload: dict, path: str | Path) -> Path:
+    """Write a benchmark report as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path

@@ -1,0 +1,175 @@
+"""Parallel execution of independent simulation tasks.
+
+Sweeps and experiments are embarrassingly parallel at the seed level:
+every run is a pure function of its task tuple (parameters + seed), so
+runs can be farmed out to worker processes without changing any result.
+:func:`run_tasks` is the single entry point — experiments build a list
+of task tuples, point it at a module-level worker function, and get
+results back *in task order* regardless of worker scheduling, so a
+``jobs=1`` and a ``jobs=8`` run aggregate bitwise-identical numbers.
+
+Telemetry still has to close end-to-end (the PR-1 reconciliation
+invariant): a worker process cannot write into the parent's JSONL
+tracer, shared metrics registry or phase timer, so each worker captures
+its own telemetry locally (an in-memory tracer, a private registry and
+timer pushed as the ambient observability context) and ships it back
+with the result.  The parent then merges: trace records are replayed
+into the ambient tracer with simulation ids remapped through the
+parent's id counter (so concurrent workers never collide), registry
+instruments are folded in under the same remapping, and phase timings
+are added to the shared timer.  ``repro-manet trace-summary`` on a
+traced parallel run therefore reconciles exactly as a serial run does.
+
+Determinism: tasks carry explicit seeds and workers derive *all*
+randomness from them, so scheduling cannot leak into results.  The only
+parallel/serial difference is telemetry interleaving (merged per task,
+in task order) — never the task results themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from ..obs import context as obs_context
+from ..obs.metrics import MetricsRegistry
+from ..obs.timing import PhaseTimer
+from ..obs.tracer import NULL_TRACER, CollectingTracer
+
+__all__ = ["TaskTelemetry", "resolve_jobs", "run_tasks"]
+
+
+@dataclass
+class TaskTelemetry:
+    """Telemetry captured by one worker task, to be merged by the parent."""
+
+    #: Trace records as emitted (with the worker's local sim ids).
+    records: list[dict] = field(default_factory=list)
+    #: Phase timing rows: ``(phase, seconds, calls)``.
+    phases: list[tuple[str, float, int]] = field(default_factory=list)
+    #: Metrics registry snapshot (:meth:`MetricsRegistry.to_dict`).
+    metrics: dict = field(default_factory=dict)
+
+
+def resolve_jobs(jobs: int | None, n_tasks: int) -> int:
+    """Number of worker processes to use for ``n_tasks`` tasks.
+
+    ``None`` and ``1`` mean serial in-process execution; ``0`` means
+    one worker per CPU.  The result is capped at the task count.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_tasks))
+
+
+def _run_captured(payload: tuple[Callable[[Any], Any], Any, bool]):
+    """Worker entry: run one task under a local observability context."""
+    fn, task, capture_trace = payload
+    tracer = CollectingTracer() if capture_trace else NULL_TRACER
+    registry = MetricsRegistry()
+    timer = PhaseTimer()
+    with obs_context.observe(tracer=tracer, registry=registry, timer=timer):
+        result = fn(task)
+    report = timer.report()
+    telemetry = TaskTelemetry(
+        records=tracer.records if capture_trace else [],
+        phases=[(p.phase, p.seconds, p.calls) for p in report.phases],
+        metrics=registry.to_dict(),
+    )
+    return result, telemetry
+
+
+def _fresh_sim_id() -> int:
+    # The parent's Simulation counter is the authority for sim ids in
+    # shared traces/registries; drawing remapped ids from it keeps
+    # parallel runs collision-free with sims the parent creates itself.
+    from ..sim.engine import Simulation
+
+    return next(Simulation._instance_ids)
+
+
+def _remap_sim(value, sim_map: dict) -> int:
+    key = int(value)
+    if key not in sim_map:
+        sim_map[key] = _fresh_sim_id()
+    return sim_map[key]
+
+
+def merge_telemetry(
+    telemetry: TaskTelemetry, context: obs_context.ObsContext
+) -> None:
+    """Fold one worker's captured telemetry into the ambient context."""
+    sim_map: dict[int, int] = {}
+    tracer = context.tracer
+    if tracer.enabled:
+        for record in telemetry.records:
+            fields = {
+                k: v for k, v in record.items() if k not in ("event", "t")
+            }
+            if "sim" in fields:
+                fields["sim"] = _remap_sim(fields["sim"], sim_map)
+            tracer.emit(record["event"], record["t"], **fields)
+    if context.timer is not None:
+        for phase, seconds, calls in telemetry.phases:
+            context.timer.add(phase, seconds, calls=calls)
+    if context.registry is not None:
+        registry = context.registry
+        for row in telemetry.metrics.get("counters", ()):
+            labels = dict(row["labels"])
+            if "sim" in labels:
+                labels["sim"] = str(_remap_sim(labels["sim"], sim_map))
+            registry.counter(row["name"], **labels).inc(row["value"])
+        for row in telemetry.metrics.get("gauges", ()):
+            labels = dict(row["labels"])
+            if "sim" in labels:
+                labels["sim"] = str(_remap_sim(labels["sim"], sim_map))
+            registry.gauge(row["name"], **labels).set(row["value"])
+        for row in telemetry.metrics.get("histograms", ()):
+            labels = dict(row["labels"])
+            if "sim" in labels:
+                labels["sim"] = str(_remap_sim(labels["sim"], sim_map))
+            histogram = registry.histogram(
+                row["name"], buckets=tuple(row["bounds"]), **labels
+            )
+            histogram.count += row["count"]
+            histogram.sum += row["sum"]
+            for position, count in enumerate(row["bucket_counts"]):
+                histogram.bucket_counts[position] += count
+
+
+def run_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    jobs: int | None = None,
+) -> list[Any]:
+    """Run ``fn`` over ``tasks``, optionally across worker processes.
+
+    ``fn`` must be a module-level (picklable) function of one task
+    argument, and each task must be picklable and carry every input the
+    run needs (including its seed).  Results are returned in task
+    order.  With ``jobs in (None, 1)`` — or a single task — execution
+    is serial and in-process, with telemetry flowing directly into the
+    ambient observability context; with ``jobs > 1`` (or ``jobs=0`` for
+    one worker per CPU) tasks run in a :class:`ProcessPoolExecutor` and
+    captured telemetry is merged back afterwards.
+    """
+    task_list: Sequence[Any] = list(tasks)
+    jobs = resolve_jobs(jobs, len(task_list))
+    if jobs <= 1:
+        return [fn(task) for task in task_list]
+    context = obs_context.current()
+    capture_trace = context.tracer.enabled
+    payloads = [(fn, task, capture_trace) for task in task_list]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        outcomes = list(pool.map(_run_captured, payloads))
+    results = []
+    for result, telemetry in outcomes:
+        merge_telemetry(telemetry, context)
+        results.append(result)
+    return results

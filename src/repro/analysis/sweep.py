@@ -23,6 +23,7 @@ from ..core.params import NetworkParameters
 from ..mobility import EpochRandomWaypointModel
 from ..routing import IntraClusterRoutingProtocol
 from ..sim import HelloProtocol, Simulation
+from .parallel import run_tasks
 from .series import summarize
 
 __all__ = ["SweepPoint", "SweepResult", "measure_point", "run_sweep"]
@@ -108,6 +109,12 @@ def _run_once(
     return frequencies, float(np.mean(ratios))
 
 
+def _run_once_task(task) -> tuple[dict[str, float], float]:
+    """Picklable per-seed worker for :func:`measure_point`."""
+    params, seed, duration, warmup, epoch, algorithm = task
+    return _run_once(params, seed, duration, warmup, epoch, algorithm)
+
+
 def measure_point(
     params: NetworkParameters,
     parameter_value: float,
@@ -117,23 +124,32 @@ def measure_point(
     epoch: float = 1.0,
     algorithm: ClusteringAlgorithm | None = None,
     convention: str = "consistent",
+    jobs: int | None = None,
 ) -> SweepPoint:
-    """Measure one parameter point (averaged over ``seeds`` runs)."""
+    """Measure one parameter point (averaged over ``seeds`` runs).
+
+    ``jobs`` fans the per-seed runs out to worker processes (see
+    :func:`repro.analysis.parallel.run_tasks`); results are seed-order
+    deterministic, so any ``jobs`` value yields the identical point.
+    """
     if seeds < 1:
         raise ValueError(f"seeds must be positive, got {seeds}")
     algorithm = algorithm or LowestIdClustering()
-    runs = []
-    for seed in range(seeds):
-        logger.debug(
-            "measuring point value=%g seed=%d/%d (N=%d)",
-            parameter_value,
-            seed + 1,
-            seeds,
-            params.n_nodes,
-        )
-        runs.append(
-            _run_once(params, seed, duration, warmup, epoch, algorithm)
-        )
+    logger.debug(
+        "measuring point value=%g over %d seeds (N=%d, jobs=%s)",
+        parameter_value,
+        seeds,
+        params.n_nodes,
+        jobs,
+    )
+    runs = run_tasks(
+        _run_once_task,
+        [
+            (params, seed, duration, warmup, epoch, algorithm)
+            for seed in range(seeds)
+        ],
+        jobs=jobs,
+    )
     measured = {
         key: summarize([freqs[key] for freqs, _ in runs]).mean
         for key in ("f_hello", "f_cluster", "f_route")
@@ -169,7 +185,8 @@ def run_sweep(
     ``values`` are absolute parameter values.  A density sweep keeps
     ``N`` and the transmission range fixed and varies the area
     (``rho = N / a^2``), which is how the paper's Figure 3 varies
-    density.
+    density.  A ``jobs`` keyword is forwarded to :func:`measure_point`
+    to parallelize each point's per-seed runs.
     """
     from ..obs.log import progress
 

@@ -7,8 +7,13 @@ Subcommands::
     repro-manet run all [--quick]        # run every experiment
     repro-manet simulate scenario.json   # run a declarative scenario
     repro-manet trace-summary t.jsonl    # aggregate a telemetry trace
+    repro-manet bench                    # engine perf -> BENCH_engine.json
     repro-manet model --n 400 --rf 0.15 --vf 0.05
                                          # evaluate the closed-form model
+
+``run`` and ``sweep`` accept ``--jobs J`` to fan per-seed simulation
+runs out to ``J`` worker processes; results are bitwise-identical to a
+serial run for any value.
 
 ``run`` and ``simulate`` accept telemetry flags (see README,
 "Observability"): ``--trace FILE`` streams structured JSONL events,
@@ -42,6 +47,19 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help=(
+            "worker processes for per-seed runs (0 = one per CPU; "
+            "default: serial). Results are identical for any value."
+        ),
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each experiment's table as DIR/<id>.csv",
     )
+    _add_jobs_flag(run)
     _add_telemetry_flags(run)
 
     simulate = sub.add_parser(
@@ -159,6 +178,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--duration", type=float, default=10.0, help="measured time per run"
     )
+    _add_jobs_flag(sweep)
+    _add_logging_flags(sweep)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the engine; writes BENCH_engine.json"
+    )
+    bench.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_engine.json",
+        help="output JSON report path (default: BENCH_engine.json)",
+    )
+    bench.add_argument(
+        "--sizes",
+        default="100,500,2000,5000",
+        help="comma-separated network sizes (default: 100,500,2000,5000)",
+    )
+    bench.add_argument(
+        "--steps",
+        type=_positive_int,
+        default=30,
+        help="simulation steps per (size, mode) point (default 30)",
+    )
+    bench.add_argument(
+        "--dense-limit",
+        type=int,
+        default=2000,
+        help="skip the O(N^2) dense baseline above this size (default 2000)",
+    )
+    bench.add_argument(
+        "--crossover",
+        action="store_true",
+        help="also measure the dense/grid crossover table",
+    )
+    bench.add_argument(
+        "--sweep-jobs",
+        default=None,
+        metavar="J1,J2",
+        help="also time a small sweep point at these jobs values, e.g. 1,4",
+    )
+    _add_logging_flags(bench)
 
     model = sub.add_parser("model", help="evaluate the closed-form model")
     model.add_argument("--n", type=int, default=400, help="network size N")
@@ -219,6 +279,7 @@ def _run_sweep(args) -> int:
         seeds=args.seeds,
         duration=args.duration,
         warmup=args.duration * 0.15,
+        jobs=args.jobs,
     )
     table = sweep_table(
         result,
@@ -226,6 +287,43 @@ def _run_sweep(args) -> int:
         args.parameter,
     )
     print(table.render())
+    return 0
+
+
+def _run_bench(args) -> int:
+    from .analysis.benchmark import run_bench, write_bench
+
+    try:
+        sizes = [int(v) for v in args.sizes.split(",") if v.strip()]
+        sweep_jobs = (
+            [int(v) for v in args.sweep_jobs.split(",") if v.strip()]
+            if args.sweep_jobs
+            else None
+        )
+    except ValueError:
+        raise _CliError(
+            f"could not parse sizes/jobs: {args.sizes!r} {args.sweep_jobs!r}"
+        ) from None
+    if not sizes:
+        raise _CliError("no benchmark sizes given")
+    payload = run_bench(
+        sizes=sizes,
+        steps=args.steps,
+        dense_limit=args.dense_limit,
+        crossover=args.crossover,
+        sweep_jobs=sweep_jobs,
+    )
+    path = write_bench(payload, args.out)
+    print(f"benchmark report written to {path}")
+    for row in payload["step_benchmarks"]:
+        print(
+            f"  N={row['n_nodes']:>5d}  {row['mode']:<14s} "
+            f"{row['steps_per_sec']:>10.1f} steps/s  "
+            f"peak RSS {row['peak_rss_kb'] / 1024:.0f} MiB"
+        )
+    for size, speedup in payload["speedup_vs_dense"].items():
+        if speedup is not None:
+            print(f"  N={size:>5s}  edge-engine speedup {speedup:.1f}x")
     return 0
 
 
@@ -316,7 +414,9 @@ def _run_run(args) -> int:
     scope, tracer, registry, timer = _telemetry_scope(args)
     with scope:
         for experiment_id in ids:
-            table = run_experiment(experiment_id, quick=args.quick)
+            table = run_experiment(
+                experiment_id, quick=args.quick, jobs=args.jobs
+            )
             print(table.render())
             print()
             if csv_dir is not None:
@@ -345,6 +445,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_model(args)
         if args.command == "sweep":
             return _run_sweep(args)
+        if args.command == "bench":
+            return _run_bench(args)
         if args.command == "trace-summary":
             return _run_trace_summary(args)
         if args.command == "simulate":

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table
+from ..analysis.parallel import run_tasks
 from ..analysis.topology import summarize_structure
 from ..clustering import LowestIdClustering
 from ..spatial import Boundary, SquareRegion
@@ -21,11 +22,22 @@ from .config import scale_for
 __all__ = ["run_backbone"]
 
 
-def run_backbone(quick: bool = False) -> Table:
+def _structure_task(task):
+    """Picklable per-(range, seed) worker: one clustered-topology summary."""
+    n_nodes, fraction, samples, seed = task
+    region = SquareRegion(1.0, Boundary.OPEN)
+    positions = region.uniform_positions(n_nodes, seed)
+    adjacency = region.adjacency(positions, fraction)
+    state = LowestIdClustering().form(adjacency)
+    return summarize_structure(
+        state, adjacency, positions, region, samples=samples, rng=seed
+    )
+
+
+def run_backbone(quick: bool = False, jobs: int | None = None) -> Table:
     """Structural metrics of LID-clustered topologies across ranges."""
     scale = scale_for(quick)
     n_nodes = scale.n_nodes
-    region = SquareRegion(1.0, Boundary.OPEN)
     table = Table(
         title=f"Backbone structure vs transmission range (N={n_nodes}, LID)",
         headers=[
@@ -43,22 +55,22 @@ def run_backbone(quick: bool = False) -> Table:
             "P1 guarantees min head separation / r > 1",
         ],
     )
-    for fraction in np.linspace(0.08, 0.3, scale.sweep_points):
-        summaries = []
-        for seed in range(scale.seeds):
-            positions = region.uniform_positions(n_nodes, seed)
-            adjacency = region.adjacency(positions, float(fraction))
-            state = LowestIdClustering().form(adjacency)
-            summaries.append(
-                summarize_structure(
-                    state,
-                    adjacency,
-                    positions,
-                    region,
-                    samples=120 if quick else 250,
-                    rng=seed,
-                )
-            )
+    fractions = [float(f) for f in np.linspace(0.08, 0.3, scale.sweep_points)]
+    samples = 120 if quick else 250
+    # One flat task list over (range, seed) keeps every worker busy even
+    # when seeds < jobs; results come back in task order, so slicing by
+    # seed count regroups them per fraction.
+    results = run_tasks(
+        _structure_task,
+        [
+            (n_nodes, fraction, samples, seed)
+            for fraction in fractions
+            for seed in range(scale.seeds)
+        ],
+        jobs=jobs,
+    )
+    for index, fraction in enumerate(fractions):
+        summaries = results[index * scale.seeds : (index + 1) * scale.seeds]
         table.add_row(
             float(fraction),
             float(np.mean([s.head_ratio for s in summaries])),

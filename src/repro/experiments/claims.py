@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table
+from ..analysis.parallel import run_tasks
 from ..core.degree import expected_degree
 from ..core.linkdynamics import bcv_link_change_rate, cv_link_change_rate
 from ..mobility import ConstantVelocityModel
@@ -24,34 +25,47 @@ from .config import scale_for
 __all__ = ["run_claim1", "run_claim2", "measure_window_degree", "measure_cv_rates"]
 
 
+def _window_degree_task(task) -> float | None:
+    """Picklable per-seed worker: mean in-window degree on one field."""
+    n_window, tx_range, margin, seed = task
+    region = SquareRegion(margin, Boundary.TORUS)
+    total_nodes = int(round(n_window * margin * margin))
+    positions = region.uniform_positions(total_nodes, seed)
+    offset = (margin - 1.0) / 2.0
+    in_window = np.all(
+        (positions >= offset) & (positions <= offset + 1.0), axis=1
+    )
+    window_nodes = np.flatnonzero(in_window)
+    if not len(window_nodes):
+        return None
+    adjacency = region.adjacency(positions, tx_range)
+    sub = adjacency[np.ix_(window_nodes, window_nodes)]
+    return float(sub.sum(axis=1).mean())
+
+
 def measure_window_degree(
-    n_window: int, tx_range: float, seeds: int = 5, margin: float = 3.0
+    n_window: int,
+    tx_range: float,
+    seeds: int = 5,
+    margin: float = 3.0,
+    jobs: int | None = None,
 ) -> float:
     """Empirical mean in-window degree for density ``n_window`` per unit².
 
     Nodes are spread over a ``margin x margin`` torus (so the window has
     natural traffic across its border); only neighbors inside the
     central unit window count, and only window nodes are averaged.
+    Per-seed fields run in parallel when ``jobs`` is set.
     """
-    region = SquareRegion(margin, Boundary.TORUS)
-    total_nodes = int(round(n_window * margin * margin))
-    degrees = []
-    for seed in range(seeds):
-        positions = region.uniform_positions(total_nodes, seed)
-        offset = (margin - 1.0) / 2.0
-        in_window = np.all(
-            (positions >= offset) & (positions <= offset + 1.0), axis=1
-        )
-        window_nodes = np.flatnonzero(in_window)
-        if not len(window_nodes):
-            continue
-        adjacency = region.adjacency(positions, tx_range)
-        sub = adjacency[np.ix_(window_nodes, window_nodes)]
-        degrees.append(sub.sum(axis=1).mean())
-    return float(np.mean(degrees))
+    degrees = run_tasks(
+        _window_degree_task,
+        [(n_window, tx_range, margin, seed) for seed in range(seeds)],
+        jobs=jobs,
+    )
+    return float(np.mean([d for d in degrees if d is not None]))
 
 
-def run_claim1(quick: bool = False) -> Table:
+def run_claim1(quick: bool = False, jobs: int | None = None) -> Table:
     """Claim 1: expected degree vs windowed measurement."""
     scale = scale_for(quick)
     n_window = scale.n_nodes
@@ -62,7 +76,7 @@ def run_claim1(quick: bool = False) -> Table:
     for tx_range in np.linspace(0.05, 0.3, 4 if quick else 6):
         analysis = float(expected_degree(n_window, float(n_window), tx_range))
         measured = measure_window_degree(
-            n_window, float(tx_range), seeds=scale.seeds + 1
+            n_window, float(tx_range), seeds=scale.seeds + 1, jobs=jobs
         )
         table.add_row(
             tx_range,

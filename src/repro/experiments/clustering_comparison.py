@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table
+from ..analysis.parallel import run_tasks
 from ..clustering import (
     ClusterMaintenanceProtocol,
     DmacClustering,
@@ -48,6 +49,10 @@ ALL_ALGORITHMS = ONE_HOP_ALGORITHMS + (
     ("mobdhop(d=2)", lambda: MobDHopClustering(2)),
 )
 
+#: Lookup for worker processes: the lambdas above are not picklable, so
+#: tasks carry the algorithm *name* and workers resolve it here.
+_FACTORIES = dict(ALL_ALGORITHMS)
+
 
 def _maintenance_rate(
     params: NetworkParameters, factory, duration: float, warmup: float, seed: int
@@ -61,12 +66,35 @@ def _maintenance_rate(
     return stats.per_node_frequency("cluster")
 
 
-def run_clustering_comparison(quick: bool = False) -> Table:
+def _formation_task(task) -> tuple[float, float, float, bool]:
+    """Picklable per-(algorithm, seed) worker: one formation's metrics."""
+    name, n_nodes, range_fraction, seed = task
+    region = SquareRegion(1.0, Boundary.OPEN)
+    positions = region.uniform_positions(n_nodes, seed)
+    adjacency = region.adjacency(positions, range_fraction)
+    state = _FACTORIES[name]().form(adjacency)
+    violations = check_properties(state, adjacency)
+    return (
+        float(state.head_ratio()),
+        float(state.cluster_count()),
+        float(np.mean(state.cluster_sizes())),
+        not violations.adjacent_heads,
+    )
+
+
+def _maintenance_task(task) -> float:
+    """Picklable per-algorithm worker: reactive CLUSTER rate under mobility."""
+    name, params, duration, warmup, seed = task
+    return _maintenance_rate(params, _FACTORIES[name], duration, warmup, seed)
+
+
+def run_clustering_comparison(
+    quick: bool = False, jobs: int | None = None
+) -> Table:
     """Formation metrics for all algorithms; maintenance rate for one-hop."""
     scale = scale_for(quick)
     n_nodes = scale.n_nodes
     range_fraction = 0.15
-    region = SquareRegion(1.0, Boundary.OPEN)
     table = Table(
         title=f"Clustering comparison (N={n_nodes}, r={range_fraction}a)",
         headers=[
@@ -88,26 +116,36 @@ def run_clustering_comparison(quick: bool = False) -> Table:
         n_nodes=n_nodes, range_fraction=range_fraction, velocity_fraction=0.04
     )
     maintenance_names = {name for name, _ in ONE_HOP_ALGORITHMS}
-    for name, factory in ALL_ALGORITHMS:
-        ratios, counts, sizes, p1_ok = [], [], [], True
-        for seed in range(scale.seeds + 1):
-            positions = region.uniform_positions(n_nodes, seed)
-            adjacency = region.adjacency(positions, range_fraction)
-            state = factory().form(adjacency)
-            violations = check_properties(state, adjacency)
-            p1_ok = p1_ok and not violations.adjacent_heads
-            ratios.append(state.head_ratio())
-            counts.append(state.cluster_count())
-            sizes.append(float(np.mean(state.cluster_sizes())))
-        rate: float | str = "-"
-        if name in maintenance_names:
-            rate = _maintenance_rate(
-                params,
-                factory,
-                duration=scale.duration / 2,
-                warmup=scale.warmup,
-                seed=0,
-            )
+    seeds = scale.seeds + 1
+    formation_results = run_tasks(
+        _formation_task,
+        [
+            (name, n_nodes, range_fraction, seed)
+            for name, _ in ALL_ALGORITHMS
+            for seed in range(seeds)
+        ],
+        jobs=jobs,
+    )
+    maintenance_rates = dict(
+        zip(
+            sorted(maintenance_names),
+            run_tasks(
+                _maintenance_task,
+                [
+                    (name, params, scale.duration / 2, scale.warmup, 0)
+                    for name in sorted(maintenance_names)
+                ],
+                jobs=jobs,
+            ),
+        )
+    )
+    for index, (name, _) in enumerate(ALL_ALGORITHMS):
+        per_seed = formation_results[index * seeds : (index + 1) * seeds]
+        ratios = [r[0] for r in per_seed]
+        counts = [r[1] for r in per_seed]
+        sizes = [r[2] for r in per_seed]
+        p1_ok = all(r[3] for r in per_seed)
+        rate: float | str = maintenance_rates.get(name, "-")
         table.add_row(
             name,
             float(np.mean(ratios)),

@@ -64,15 +64,16 @@ def sweep_table(result: SweepResult, title: str, value_label: str) -> Table:
     return table
 
 
-def _point_kwargs(scale: ExperimentScale) -> dict:
+def _point_kwargs(scale: ExperimentScale, jobs: int | None) -> dict:
     return {
         "seeds": scale.seeds,
         "duration": scale.duration,
         "warmup": scale.warmup,
+        "jobs": jobs,
     }
 
 
-def run_fig1(quick: bool = False) -> Table:
+def run_fig1(quick: bool = False, jobs: int | None = None) -> Table:
     """Figure 1: frequencies vs transmission range (fractions of ``a``)."""
     scale = scale_for(quick)
     base = NetworkParameters.from_fractions(
@@ -80,7 +81,7 @@ def run_fig1(quick: bool = False) -> Table:
     )
     fractions = np.linspace(0.06, 0.35, scale.sweep_points)
     result = run_sweep(
-        "tx_range", base, fractions * base.side, **_point_kwargs(scale)
+        "tx_range", base, fractions * base.side, **_point_kwargs(scale, jobs)
     )
     # Express the swept value as r/a, like the paper's x-axis.
     for point in result.points:
@@ -94,7 +95,7 @@ def run_fig1(quick: bool = False) -> Table:
     )
 
 
-def run_fig2(quick: bool = False) -> Table:
+def run_fig2(quick: bool = False, jobs: int | None = None) -> Table:
     """Figure 2: frequencies vs node velocity (fractions of ``a``)."""
     scale = scale_for(quick)
     base = NetworkParameters.from_fractions(
@@ -102,7 +103,7 @@ def run_fig2(quick: bool = False) -> Table:
     )
     fractions = np.linspace(0.01, 0.15, scale.sweep_points)
     result = run_sweep(
-        "velocity", base, fractions * base.side, **_point_kwargs(scale)
+        "velocity", base, fractions * base.side, **_point_kwargs(scale, jobs)
     )
     for point in result.points:
         object.__setattr__(
@@ -115,7 +116,7 @@ def run_fig2(quick: bool = False) -> Table:
     )
 
 
-def run_fig3(quick: bool = False) -> Table:
+def run_fig3(quick: bool = False, jobs: int | None = None) -> Table:
     """Figure 3: frequencies vs network density at fixed absolute r, v."""
     scale = scale_for(quick)
     # Fixed absolute range and speed; density varies through the area.
@@ -130,7 +131,9 @@ def run_fig3(quick: bool = False) -> Table:
         tx_range=tx_range,
         velocity=velocity,
     )
-    result = run_sweep("density", base, densities, **_point_kwargs(scale))
+    result = run_sweep(
+        "density", base, densities, **_point_kwargs(scale, jobs)
+    )
     return sweep_table(
         result,
         f"Figure 3 — control message frequencies vs density "

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis import Table, crossing_indices
+from ..analysis.parallel import run_tasks
 from ..clustering import LowestIdClustering
 from ..core.degree import expected_degree
 from ..core.lid_analysis import (
@@ -71,26 +72,39 @@ def run_fig4b(quick: bool = False) -> Table:
     return table
 
 
+def _head_ratio_task(task) -> float:
+    """Picklable per-seed worker: LID head ratio on one placement."""
+    n_nodes, tx_range, side, seed = task
+    region = SquareRegion(side, Boundary.OPEN)
+    positions = region.uniform_positions(n_nodes, seed)
+    adjacency = region.adjacency(positions, tx_range)
+    ids = np.random.default_rng(seed + 10_000).permutation(n_nodes)
+    state = LowestIdClustering(ids).form(adjacency)
+    return float(state.head_ratio())
+
+
 def measure_lid_head_ratio(
-    n_nodes: int, tx_range: float, side: float = 1.0, seeds: int = 5
+    n_nodes: int,
+    tx_range: float,
+    side: float = 1.0,
+    seeds: int = 5,
+    jobs: int | None = None,
 ) -> float:
     """Mean LID head ratio over random static placements.
 
     Ids are randomly permuted per seed so they are independent of any
     placement structure, matching the LID uniqueness assumption.
+    Per-seed placements run in parallel when ``jobs`` is set.
     """
-    region = SquareRegion(side, Boundary.OPEN)
-    ratios = []
-    for seed in range(seeds):
-        positions = region.uniform_positions(n_nodes, seed)
-        adjacency = region.adjacency(positions, tx_range)
-        ids = np.random.default_rng(seed + 10_000).permutation(n_nodes)
-        state = LowestIdClustering(ids).form(adjacency)
-        ratios.append(state.head_ratio())
+    ratios = run_tasks(
+        _head_ratio_task,
+        [(n_nodes, tx_range, side, seed) for seed in range(seeds)],
+        jobs=jobs,
+    )
     return float(np.mean(ratios))
 
 
-def run_fig5a(quick: bool = False) -> Table:
+def run_fig5a(quick: bool = False, jobs: int | None = None) -> Table:
     """Figure 5(a): number of clusters vs N at fixed r = 0.065a."""
     scale = scale_for(quick)
     range_fraction = 0.065
@@ -107,7 +121,7 @@ def run_fig5a(quick: bool = False) -> Table:
     for n_nodes in sizes:
         degree = float(expected_degree(n_nodes, float(n_nodes), range_fraction))
         measured = measure_lid_head_ratio(
-            n_nodes, range_fraction, seeds=scale.seeds + 2
+            n_nodes, range_fraction, seeds=scale.seeds + 2, jobs=jobs
         )
         exact = float(lid_head_probability_exact(degree))
         approx = float(lid_head_probability_approx(degree))
@@ -125,7 +139,7 @@ def run_fig5a(quick: bool = False) -> Table:
     return table
 
 
-def run_fig5b(quick: bool = False) -> Table:
+def run_fig5b(quick: bool = False, jobs: int | None = None) -> Table:
     """Figure 5(b): number of clusters vs transmission range at fixed N."""
     scale = scale_for(quick)
     n_nodes = 200 if quick else 400
@@ -137,7 +151,7 @@ def run_fig5b(quick: bool = False) -> Table:
     for fraction in fractions:
         degree = float(expected_degree(n_nodes, float(n_nodes), fraction))
         measured = measure_lid_head_ratio(
-            n_nodes, float(fraction), seeds=scale.seeds + 2
+            n_nodes, float(fraction), seeds=scale.seeds + 2, jobs=jobs
         )
         exact = float(lid_head_probability_exact(degree))
         approx = float(lid_head_probability_approx(degree))

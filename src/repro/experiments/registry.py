@@ -8,6 +8,7 @@ both dispatch through :func:`run_experiment`.
 
 from __future__ import annotations
 
+import inspect
 import logging
 import time
 from collections.abc import Callable
@@ -63,8 +64,14 @@ def experiment_ids() -> list[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(experiment_id: str, quick: bool = False) -> Table:
-    """Run one experiment by id."""
+def run_experiment(
+    experiment_id: str, quick: bool = False, jobs: int | None = None
+) -> Table:
+    """Run one experiment by id.
+
+    ``jobs`` is forwarded to runners that accept it (the seed-parallel
+    experiments); purely analytical runners ignore it.
+    """
     from ..obs.log import progress
 
     try:
@@ -79,8 +86,11 @@ def run_experiment(experiment_id: str, quick: bool = False) -> Table:
         experiment_id,
         "quick" if quick else "full scale",
     )
+    kwargs = {}
+    if jobs is not None and "jobs" in inspect.signature(runner).parameters:
+        kwargs["jobs"] = jobs
     started = time.perf_counter()
-    table = runner(quick)
+    table = runner(quick, **kwargs)
     logger.info(
         "experiment %s finished in %.2fs",
         experiment_id,

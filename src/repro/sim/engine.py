@@ -3,11 +3,15 @@
 The paper validated its analysis with GloMoSim; this kernel is the
 Python substitute (see DESIGN.md, substitutions).  It advances a
 mobility model in fixed steps, maintains the exact unit-disk
-connectivity after every step, diffs consecutive adjacencies into link
-generation/break events, and delivers those events — in deterministic
-order — to attached protocols (HELLO beaconing, clustering maintenance,
-routing).  Message accounting flows into a shared
-:class:`~repro.sim.stats.MessageStats`.
+connectivity after every step as a sorted **edge set** (an ``(E, 2)``
+pair array — ``O(E)`` state instead of an ``O(N^2)`` matrix), diffs
+consecutive edge sets into link generation/break events in
+``O(E log E)``, and delivers those events — in deterministic order — to
+attached protocols (HELLO beaconing, clustering maintenance, routing).
+A dense boolean :attr:`Simulation.adjacency` view is still available
+for consumers that index into a matrix; it is materialized lazily from
+the edge set and cached until the next step.  Message accounting flows
+into a shared :class:`~repro.sim.stats.MessageStats`.
 
 The kernel is fully instrumented (see :mod:`repro.obs`): every step
 charges its phases (mobility advance, adjacency recompute, link diff,
@@ -38,8 +42,11 @@ from ..spatial import (
     LinkEvents,
     SquareRegion,
     UniformGridIndex,
-    compute_adjacency,
-    diff_adjacency,
+    compute_edges,
+    degree_counts_from_edges,
+    diff_edge_sets,
+    edges_to_adjacency,
+    select_connectivity_method,
 )
 from .stats import MessageStats
 
@@ -115,6 +122,13 @@ class Simulation:
     timer:
         Phase timer; defaults to the ambient context's shared timer,
         or a private one when none is configured.
+    connectivity:
+        How the per-step edge set is computed: ``"auto"`` (default)
+        lets the measured cost model pick, ``"grid"`` forces the
+        uniform grid index, ``"dense"`` forces the dense metric.  All
+        methods produce identical edge sets; the knob exists for
+        benchmarking and for densities where the model's assumptions
+        break down.
     """
 
     _instance_ids = itertools.count()
@@ -128,6 +142,7 @@ class Simulation:
         seed: int | None = 0,
         tracer=None,
         timer: PhaseTimer | None = None,
+        connectivity: str = "auto",
     ) -> None:
         self.params = params
         self.region = SquareRegion(params.side, boundary)
@@ -163,14 +178,32 @@ class Simulation:
         self._protocols: list[Protocol] = []
 
         self.mobility.reset(params.n_nodes, self.region, seed)
+        if connectivity == "auto":
+            connectivity = select_connectivity_method(
+                params.n_nodes, params.tx_range, self.region.side
+            )
+        if connectivity not in ("dense", "grid"):
+            raise ValueError(
+                "connectivity must be 'auto', 'dense' or 'grid', got "
+                f"{connectivity!r}"
+            )
+        self.connectivity = connectivity
         self._index: UniformGridIndex | None = None
-        if params.tx_range * 4.0 < self.region.side and params.n_nodes > 400:
+        if connectivity == "grid":
             self._index = UniformGridIndex(self.region, params.tx_range)
         #: Radio state per node; failed nodes keep moving but hold no links.
         self.active = np.ones(params.n_nodes, dtype=bool)
-        self.adjacency = compute_adjacency(
-            self.region, self.mobility.positions, params.tx_range, self._index
+        #: Primary connectivity state: sorted (E, 2) edge array, i < j.
+        self.edges = self._mask_failed(
+            compute_edges(
+                self.region,
+                self.mobility.positions,
+                params.tx_range,
+                self._index,
+                method=connectivity,
+            )
         )
+        self._adjacency_cache: np.ndarray | None = None
         logger.debug(
             "sim %d: N=%d side=%.4g r=%.4g v=%.4g dt=%.4g seed=%s",
             self.sim_id,
@@ -249,6 +282,28 @@ class Simulation:
         """Current node positions."""
         return self.mobility.positions
 
+    @property
+    def adjacency(self) -> np.ndarray:
+        """Dense boolean adjacency view of the live edge set.
+
+        Materialized lazily and cached until the next step, so runs
+        whose protocols never index into a matrix stay ``O(E)``.
+        """
+        if self._adjacency_cache is None:
+            self._adjacency_cache = edges_to_adjacency(
+                self.edges, self.params.n_nodes
+            )
+        return self._adjacency_cache
+
+    @property
+    def edge_count(self) -> int:
+        """Number of live links."""
+        return len(self.edges)
+
+    def degrees(self) -> np.ndarray:
+        """Per-node degree vector from the live edge set."""
+        return degree_counts_from_edges(self.edges, self.params.n_nodes)
+
     def neighbors_of(self, node: int) -> np.ndarray:
         """Current neighbor indices of ``node`` from the live adjacency."""
         return np.flatnonzero(self.adjacency[node])
@@ -308,13 +363,12 @@ class Simulation:
         """Indices of currently failed nodes."""
         return np.flatnonzero(~self.active)
 
-    def _mask_failed(self, adjacency: np.ndarray) -> np.ndarray:
+    def _mask_failed(self, edges: np.ndarray) -> np.ndarray:
+        """Drop edges with a failed endpoint from an edge set."""
         if self.active.all():
-            return adjacency
-        adjacency = adjacency.copy()
-        adjacency[~self.active, :] = False
-        adjacency[:, ~self.active] = False
-        return adjacency
+            return edges
+        alive = self.active[edges[:, 0]] & self.active[edges[:, 1]]
+        return edges[alive]
 
     # ------------------------------------------------------------------
     # Main loop
@@ -325,18 +379,23 @@ class Simulation:
         t0 = perf_counter()
         positions = self.mobility.advance(self.dt)
         t1 = perf_counter()
-        new_adjacency = self._mask_failed(
-            compute_adjacency(
-                self.region, positions, self.params.tx_range, self._index
+        new_edges = self._mask_failed(
+            compute_edges(
+                self.region,
+                positions,
+                self.params.tx_range,
+                self._index,
+                method=self.connectivity,
             )
         )
         t2 = perf_counter()
-        events = diff_adjacency(self.adjacency, new_adjacency)
+        events = diff_edge_sets(self.edges, new_edges)
         t3 = perf_counter()
         timer.add("mobility", t1 - t0)
         timer.add("adjacency", t2 - t1)
         timer.add("link_diff", t3 - t2)
-        self.adjacency = new_adjacency
+        self.edges = new_edges
+        self._adjacency_cache = None
         self.time += self.dt
         self.stats.advance_time(self.dt)
 

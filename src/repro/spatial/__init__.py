@@ -2,14 +2,33 @@
 
 from .region import Boundary, SquareRegion
 from .grid_index import UniformGridIndex
-from .neighbors import LinkEvents, compute_adjacency, degree_counts, diff_adjacency
+from .neighbors import (
+    GRID_CROSSOVER_NODES,
+    LinkEvents,
+    adjacency_to_edges,
+    compute_adjacency,
+    compute_edges,
+    degree_counts,
+    degree_counts_from_edges,
+    diff_adjacency,
+    diff_edge_sets,
+    edges_to_adjacency,
+    select_connectivity_method,
+)
 
 __all__ = [
     "Boundary",
     "SquareRegion",
     "UniformGridIndex",
+    "GRID_CROSSOVER_NODES",
     "LinkEvents",
+    "adjacency_to_edges",
     "compute_adjacency",
+    "compute_edges",
     "degree_counts",
+    "degree_counts_from_edges",
     "diff_adjacency",
+    "diff_edge_sets",
+    "edges_to_adjacency",
+    "select_connectivity_method",
 ]

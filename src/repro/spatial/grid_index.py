@@ -7,7 +7,14 @@ the dense ``O(N^2)`` distance matrix is exact but wasteful once
 neighborhood (torus-aware when the region wraps), bringing expected
 query cost down to ``O(density * r^2)`` per node.
 
-The index returns exactly the same neighbor sets as the dense matrix;
+:meth:`UniformGridIndex.neighbor_pairs` is the canonical bulk output:
+a sorted ``(E, 2)`` edge array computed by a *batched cell-pair sweep*
+— every occupied cell is paired with its half stencil in one CSR-style
+vectorized expansion, with no per-node Python loop and no dense matrix
+reconstruction.  The dense :meth:`adjacency` view is derived from the
+edge set for consumers that still index into a matrix.
+
+The index returns exactly the same neighbor sets as the dense metric;
 tests assert this equivalence property.
 """
 
@@ -20,6 +27,28 @@ import numpy as np
 from .region import Boundary, SquareRegion
 
 __all__ = ["UniformGridIndex"]
+
+#: Half of the 3x3 stencil: pairing each cell with these directed
+#: offsets (plus the within-cell pairs) visits every unordered cell
+#: pair of the full stencil exactly once.
+_HALF_STENCIL = ((0, 1), (1, -1), (1, 0), (1, 1))
+
+
+def _csr_expand(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + c)`` for each start/count pair.
+
+    The standard vectorized CSR expansion: one output slot per
+    candidate, no Python loop over the (potentially many) groups.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
 
 
 class UniformGridIndex:
@@ -46,7 +75,10 @@ class UniformGridIndex:
         self.cell_size = region.side / self.cells_per_side
         self._positions: np.ndarray | None = None
         self._cell_of: np.ndarray | None = None
-        self._buckets: dict[tuple[int, int], np.ndarray] = {}
+        self._flat: np.ndarray | None = None
+        self._order: np.ndarray | None = None
+        self._start: np.ndarray | None = None
+        self._buckets: dict[tuple[int, int], np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def rebuild(self, positions: np.ndarray) -> None:
@@ -55,23 +87,35 @@ class UniformGridIndex:
         if pos.ndim != 2 or pos.shape[1] != 2:
             raise ValueError(f"positions must be (N, 2), got shape {pos.shape}")
         self._positions = pos
-        cells = np.floor(pos / self.cell_size).astype(int)
+        cells = np.floor(pos / self.cell_size).astype(np.int64)
         np.clip(cells, 0, self.cells_per_side - 1, out=cells)
         self._cell_of = cells
-        self._buckets = {}
         flat = cells[:, 0] * self.cells_per_side + cells[:, 1]
-        order = np.argsort(flat, kind="stable")
-        sorted_flat = flat[order]
-        boundaries = np.flatnonzero(np.diff(sorted_flat)) + 1
-        for chunk in np.split(order, boundaries):
-            cx, cy = divmod(int(flat[chunk[0]]), self.cells_per_side)
-            self._buckets[(cx, cy)] = chunk
+        self._flat = flat
+        self._order = np.argsort(flat, kind="stable")
+        counts = np.bincount(flat, minlength=self.cells_per_side**2)
+        self._start = np.concatenate(([0], np.cumsum(counts)))
+        # Per-cell buckets are only needed by single-node queries; they
+        # are materialized lazily so bulk rebuild+pair sweeps skip the
+        # per-cell Python loop entirely.
+        self._buckets = None
+
+    def _bucket_map(self) -> dict[tuple[int, int], np.ndarray]:
+        if self._buckets is None:
+            buckets: dict[tuple[int, int], np.ndarray] = {}
+            start = self._start
+            for flat in np.flatnonzero(np.diff(start)):
+                cx, cy = divmod(int(flat), self.cells_per_side)
+                buckets[(cx, cy)] = self._order[start[flat] : start[flat + 1]]
+            self._buckets = buckets
+        return self._buckets
 
     # ------------------------------------------------------------------
     def _candidate_indices(self, cell: tuple[int, int]) -> np.ndarray:
         """Node indices in the 3x3 cell stencil around ``cell``."""
         cx, cy = cell
         wrap = self.region.boundary is Boundary.TORUS
+        buckets = self._bucket_map()
         chunks = []
         for dx in (-1, 0, 1):
             for dy in (-1, 0, 1):
@@ -83,14 +127,17 @@ class UniformGridIndex:
                     0 <= nx < self.cells_per_side and 0 <= ny < self.cells_per_side
                 ):
                     continue
-                bucket = self._buckets.get((nx, ny))
+                bucket = buckets.get((nx, ny))
                 if bucket is not None:
                     chunks.append(bucket)
         if not chunks:
             return np.empty(0, dtype=int)
         candidates = np.concatenate(chunks)
-        if wrap and self.cells_per_side <= 3:
-            # Wrapped stencils can revisit the same cell; deduplicate.
+        if wrap and self.cells_per_side <= 2:
+            # With one or two cells per side the wrapped offsets -1 and
+            # +1 alias the same cell, so the stencil revisits cells;
+            # deduplicate.  Three or more cells per side make all nine
+            # wrapped stencil cells distinct.
             candidates = np.unique(candidates)
         return candidates
 
@@ -111,11 +158,16 @@ class UniformGridIndex:
         return candidates[mask]
 
     def neighbor_pairs(self, radius: float | None = None) -> np.ndarray:
-        """All unordered neighbor pairs as an ``(E, 2)`` index array.
+        """All unordered neighbor pairs as a sorted ``(E, 2)`` edge array.
 
         Pairs are returned with ``i < j`` and in lexicographic order so
-        results are deterministic and directly comparable to the dense
-        adjacency.
+        results are deterministic, directly diffable as edge sets, and
+        comparable to the dense adjacency.
+
+        The computation is batched over *cell pairs*: within-cell pairs
+        plus the four half-stencil neighbor cells of every node's cell,
+        expanded CSR-style into one candidate array, distance-filtered
+        in a single vectorized pass.
         """
         if self._positions is None:
             raise RuntimeError("index not built; call rebuild() first")
@@ -124,21 +176,68 @@ class UniformGridIndex:
             raise ValueError(
                 f"query radius {radius} exceeds index radius {self.tx_range}"
             )
-        pairs = []
         n = len(self._positions)
-        for i in range(n):
-            neighbors = self.neighbors_of(i, radius)
-            higher = neighbors[neighbors > i]
-            if len(higher):
-                pairs.append(
-                    np.column_stack([np.full(len(higher), i), np.sort(higher)])
-                )
-        if not pairs:
-            return np.empty((0, 2), dtype=int)
-        return np.concatenate(pairs)
+        if n < 2:
+            return np.empty((0, 2), dtype=np.int64)
+        m = self.cells_per_side
+        wrap = self.region.boundary is Boundary.TORUS
+        order = self._order
+        start = self._start
+        flat_sorted = self._flat[order]
+        seq = np.arange(n, dtype=np.int64)
+
+        left_chunks: list[np.ndarray] = []
+        right_chunks: list[np.ndarray] = []
+
+        # Within-cell pairs: node at sorted slot p pairs with every
+        # later slot of its own cell's contiguous bucket.
+        counts = start[flat_sorted + 1] - seq - 1
+        if counts.sum():
+            left_chunks.append(np.repeat(seq, counts))
+            right_chunks.append(_csr_expand(seq + 1, counts))
+
+        # Cross-cell pairs: each node's cell against its half stencil.
+        cell_x = flat_sorted // m
+        cell_y = flat_sorted - cell_x * m
+        for dx, dy in _HALF_STENCIL:
+            tx, ty = cell_x + dx, cell_y + dy
+            if wrap:
+                sources = seq
+                tx, ty = tx % m, ty % m
+            else:
+                inside = (tx >= 0) & (tx < m) & (ty >= 0) & (ty < m)
+                if not inside.any():
+                    continue
+                sources = seq[inside]
+                tx, ty = tx[inside], ty[inside]
+            target = tx * m + ty
+            counts = start[target + 1] - start[target]
+            if counts.sum():
+                left_chunks.append(np.repeat(sources, counts))
+                right_chunks.append(_csr_expand(start[target], counts))
+
+        if not left_chunks:
+            return np.empty((0, 2), dtype=np.int64)
+        i = order[np.concatenate(left_chunks)]
+        j = order[np.concatenate(right_chunks)]
+        dist = self.region.distance(self._positions[i], self._positions[j])
+        keep = dist <= radius
+        if wrap and m <= 2:
+            # Aliased wrapped offsets can pair a cell with itself,
+            # producing self-pairs; drop them before canonicalizing.
+            keep &= i != j
+        i, j = i[keep], j[keep]
+        keys = np.minimum(i, j) * n + np.maximum(i, j)
+        if wrap and m <= 2:
+            # Aliased offsets also revisit the same cell pair, so the
+            # same edge can be emitted more than once.
+            keys = np.unique(keys)
+        else:
+            keys.sort()
+        return np.column_stack((keys // n, keys % n))
 
     def adjacency(self, radius: float | None = None) -> np.ndarray:
-        """Dense boolean adjacency reconstructed from the index."""
+        """Dense boolean adjacency reconstructed from the edge set."""
         if self._positions is None:
             raise RuntimeError("index not built; call rebuild() first")
         n = len(self._positions)

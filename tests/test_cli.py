@@ -133,3 +133,58 @@ class TestMain:
         assert csv_file.exists()
         header = csv_file.read_text().splitlines()[0]
         assert header.startswith("d+1,")
+
+    def test_run_with_jobs(self, capsys):
+        assert main(["run", "claim1", "--quick", "--jobs", "2"]) == 0
+        assert "Claim 1" in capsys.readouterr().out
+
+    def test_sweep_with_jobs(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "tx_range",
+                "0.15",
+                "--n",
+                "40",
+                "--seeds",
+                "2",
+                "--duration",
+                "2.0",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "Sweep of tx_range" in capsys.readouterr().out
+
+    def test_bench_command(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench",
+                "--sizes",
+                "60",
+                "--steps",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        modes = {row["mode"] for row in payload["step_benchmarks"]}
+        assert modes == {"edge-engine", "dense-baseline"}
+        for row in payload["step_benchmarks"]:
+            assert row["steps_per_sec"] > 0
+            assert row["peak_rss_kb"] > 0
+            assert set(row["phases_s"]) >= {
+                "mobility",
+                "adjacency",
+                "link_diff",
+            }
+        assert payload["speedup_vs_dense"]["60"] is not None
+
+    def test_bench_bad_sizes(self, capsys):
+        assert main(["bench", "--sizes", "abc"]) == 2

@@ -108,6 +108,55 @@ class TestPairs:
         assert not index.adjacency().any()
 
 
+class TestEveryCellCount:
+    """Exact dense equivalence at every coarse grid resolution.
+
+    ``radius = side / (m + 0.5)`` forces ``cells_per_side == m``, so
+    this sweeps the wrapped-stencil aliasing regimes one by one: m <= 2
+    (offsets alias under wrap, dedup required), m = 3 (distinct mod 3),
+    and the plain sparse regimes above.
+    """
+
+    @pytest.mark.parametrize(
+        "boundary", [Boundary.TORUS, Boundary.OPEN, Boundary.REFLECT]
+    )
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6])
+    def test_adjacency_matches_dense(self, m, boundary):
+        region = SquareRegion(1.0, boundary)
+        radius = 1.0 / (m + 0.5)
+        positions = region.uniform_positions(90, m * 10 + 1)
+        index = UniformGridIndex(region, radius)
+        assert index.cells_per_side == m
+        index.rebuild(positions)
+        np.testing.assert_array_equal(
+            index.adjacency(), region.adjacency(positions, radius)
+        )
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6])
+    def test_pairs_unique_and_sorted_on_torus(self, m):
+        region = SquareRegion(1.0, Boundary.TORUS)
+        radius = 1.0 / (m + 0.5)
+        positions = region.uniform_positions(70, m)
+        index = UniformGridIndex(region, radius)
+        index.rebuild(positions)
+        pairs = index.neighbor_pairs()
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        keys = pairs[:, 0] * 70 + pairs[:, 1]
+        assert len(np.unique(keys)) == len(keys)
+        assert np.all(np.diff(keys) > 0)  # canonically sorted
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4, 5, 6])
+    def test_candidates_unique_per_node(self, m):
+        region = SquareRegion(1.0, Boundary.TORUS)
+        radius = 1.0 / (m + 0.5)
+        positions = region.uniform_positions(50, m + 100)
+        index = UniformGridIndex(region, radius)
+        index.rebuild(positions)
+        for node in range(0, 50, 7):
+            candidates = index._candidate_indices(tuple(index._cell_of[node]))
+            assert len(np.unique(candidates)) == len(candidates)
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     st.integers(min_value=2, max_value=120),

@@ -1,0 +1,172 @@
+"""Tests for the process-parallel task runner (repro.analysis.parallel).
+
+The contract under test: any ``jobs`` value produces results identical
+to a serial run (determinism), results come back in task order, and
+telemetry captured in workers merges into the parent's observability
+context so traced parallel runs still reconcile end-to-end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.parallel import (
+    TaskTelemetry,
+    merge_telemetry,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.analysis.sweep import measure_point
+from repro.core.params import NetworkParameters
+from repro.obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    PhaseTimer,
+    current,
+    observe,
+    summarize_trace,
+)
+
+
+def _square_task(task):
+    return task * task
+
+
+def _seeded_draw_task(seed):
+    return float(np.random.default_rng(seed).random())
+
+
+def _tiny_params():
+    return NetworkParameters.from_fractions(
+        n_nodes=40, range_fraction=0.15, velocity_fraction=0.05
+    )
+
+
+class TestResolveJobs:
+    def test_none_means_serial(self):
+        assert resolve_jobs(None, 10) == 1
+
+    def test_capped_at_task_count(self):
+        assert resolve_jobs(8, 3) == 3
+
+    def test_zero_means_cpu_count(self):
+        import os
+
+        assert resolve_jobs(0, 100) == min(os.cpu_count() or 1, 100)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1, 5)
+
+    def test_at_least_one(self):
+        assert resolve_jobs(4, 0) == 1
+
+
+class TestRunTasks:
+    def test_serial_results_in_order(self):
+        assert run_tasks(_square_task, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+    def test_parallel_results_in_order(self):
+        tasks = list(range(9))
+        assert run_tasks(_square_task, tasks, jobs=3) == [
+            t * t for t in tasks
+        ]
+
+    def test_serial_equals_parallel_with_rng(self):
+        seeds = list(range(6))
+        serial = run_tasks(_seeded_draw_task, seeds)
+        parallel = run_tasks(_seeded_draw_task, seeds, jobs=2)
+        assert serial == parallel
+
+    def test_empty_task_list(self):
+        assert run_tasks(_square_task, [], jobs=4) == []
+
+
+class TestSweepDeterminism:
+    def test_point_bitwise_identical_across_jobs(self):
+        params = _tiny_params()
+        kwargs = dict(seeds=3, duration=2.0, warmup=0.5)
+        serial = measure_point(params, params.tx_range, **kwargs, jobs=1)
+        parallel = measure_point(params, params.tx_range, **kwargs, jobs=4)
+        assert serial.measured == parallel.measured
+        assert serial.predicted == parallel.predicted
+        assert serial.measured_head_ratio == parallel.measured_head_ratio
+        assert serial == parallel
+
+
+class TestTelemetryMerge:
+    def test_phase_timings_merged(self):
+        timer = PhaseTimer()
+        with observe(timer=timer):
+            measure_point(
+                _tiny_params(), 0.15, seeds=2, duration=1.0, warmup=0.2, jobs=2
+            )
+        phases = {p.phase: p for p in timer.report().phases}
+        for phase in ("mobility", "adjacency", "link_diff"):
+            assert phase in phases
+            assert phases[phase].seconds > 0.0
+            assert phases[phase].calls > 0
+
+    def test_metrics_merged_with_distinct_sim_ids(self):
+        registry = MetricsRegistry()
+        with observe(registry=registry):
+            measure_point(
+                _tiny_params(), 0.15, seeds=3, duration=1.0, warmup=0.2, jobs=3
+            )
+        counters = registry.to_dict()["counters"]
+        sims = {
+            row["labels"]["sim"]
+            for row in counters
+            if "sim" in row["labels"]
+        }
+        assert len(sims) == 3  # one remapped id per worker run
+
+    def test_traced_parallel_run_reconciles(self, tmp_path):
+        trace_path = tmp_path / "parallel.jsonl"
+        tracer = JsonlTracer(str(trace_path), step_every=5)
+        registry = MetricsRegistry()
+        with observe(tracer=tracer, registry=registry, timer=PhaseTimer()):
+            measure_point(
+                _tiny_params(), 0.15, seeds=2, duration=1.0, warmup=0.2, jobs=2
+            )
+        tracer.close()
+        summary = summarize_trace(str(trace_path))
+        assert summary.reconciles()
+        assert len(summary.runs) == 2
+
+    def test_merge_remaps_sim_labels(self):
+        telemetry = TaskTelemetry(
+            records=[
+                {"event": "msg_tx", "t": 0.1, "sim": 0, "category": "hello",
+                 "messages": 2, "bits": 64.0},
+            ],
+            phases=[("mobility", 0.5, 10)],
+            metrics={
+                "counters": [
+                    {
+                        "name": "messages_total",
+                        "labels": {"sim": "0", "category": "hello"},
+                        "value": 2,
+                    }
+                ],
+                "gauges": [],
+                "histograms": [],
+            },
+        )
+        from repro.obs.tracer import CollectingTracer
+
+        tracer = CollectingTracer()
+        registry = MetricsRegistry()
+        timer = PhaseTimer()
+        with observe(tracer=tracer, registry=registry, timer=timer):
+            merge_telemetry(telemetry, current())
+        # The worker's sim 0 must NOT stay 0 — it is remapped through
+        # the parent's id counter to avoid collisions.
+        record = tracer.records[0]
+        assert record["event"] == "msg_tx"
+        counter_rows = registry.to_dict()["counters"]
+        assert counter_rows[0]["labels"]["sim"] == str(record["sim"])
+        phases = {p.phase: p for p in timer.report().phases}
+        assert phases["mobility"].seconds == 0.5
+        assert phases["mobility"].calls == 10
