@@ -20,15 +20,28 @@ It answers three questions about the simulation substrate:
 
 Peak RSS is read from ``getrusage`` and is monotone over the process
 lifetime; modes are benchmarked smallest-N-first so the per-mode
-snapshot is still a usable upper bound for that mode.
+snapshot is still a usable upper bound for that mode.  A background
+:class:`~repro.obs.resources.ResourceSampler` additionally records the
+*current* RSS and CPU utilisation over the whole benchmark
+(``resources`` in the report).
+
+**Bench history** (``repro-manet bench --history FILE``) turns a
+one-off report into a perf-regression tracker: each run appends one
+compact JSONL entry (machine, config, steps/sec per benchmark point) to
+the history file, and :func:`update_bench_history` flags every point
+whose steps/sec fell more than the threshold (default 20%) below the
+best prior entry — the CLI exits non-zero on any flagged point, which
+is how CI gates engine performance.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import platform
 import resource
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 from time import perf_counter
 
@@ -36,18 +49,28 @@ import numpy as np
 
 from ..core.params import NetworkParameters
 from ..mobility import EpochRandomWaypointModel
+from ..obs.resources import ResourceSampler
 from ..obs.timing import PhaseTimer
 from ..sim import Simulation, recommended_step
 from ..spatial import Boundary, SquareRegion, compute_edges, diff_adjacency
 
 __all__ = [
     "DEFAULT_SIZES",
+    "DEFAULT_REGRESSION_THRESHOLD",
     "bench_step_modes",
     "measure_crossover",
     "bench_parallel_sweep",
     "run_bench",
     "write_bench",
+    "history_entry",
+    "update_bench_history",
 ]
+
+logger = logging.getLogger(__name__)
+
+#: Fractional steps/sec drop vs the best prior history entry that
+#: counts as a regression.
+DEFAULT_REGRESSION_THRESHOLD = 0.20
 
 #: Network sizes the step benchmark reports on.
 DEFAULT_SIZES = (100, 500, 2000, 5000)
@@ -272,13 +295,18 @@ def run_bench(
             "smallest-N-first",
         ],
     }
-    results, speedups = bench_step_modes(sizes, steps, dense_limit)
-    payload["step_benchmarks"] = results
-    payload["speedup_vs_dense"] = speedups
-    if crossover:
-        payload["crossover"] = measure_crossover()
-    if sweep_jobs:
-        payload["parallel_sweep"] = bench_parallel_sweep(tuple(sweep_jobs))
+    sampler = ResourceSampler(interval=0.2)
+    with sampler:
+        results, speedups = bench_step_modes(sizes, steps, dense_limit)
+        payload["step_benchmarks"] = results
+        payload["speedup_vs_dense"] = speedups
+        if crossover:
+            payload["crossover"] = measure_crossover()
+        if sweep_jobs:
+            payload["parallel_sweep"] = bench_parallel_sweep(
+                tuple(sweep_jobs)
+            )
+    payload["resources"] = sampler.summary()
     return payload
 
 
@@ -287,3 +315,95 @@ def write_bench(payload: dict, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(payload, indent=2) + "\n")
     return path
+
+
+# ----------------------------------------------------------------------
+# Bench history: perf-regression tracking across runs
+# ----------------------------------------------------------------------
+def history_entry(payload: dict) -> dict:
+    """Compact JSONL history record for one benchmark report.
+
+    ``points`` maps ``"<mode>:N<size>"`` to steps/sec, so entries from
+    differently-configured runs only gate against each other where
+    they measured the same point.
+    """
+    return {
+        "schema": 1,
+        "recorded_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": payload.get("machine", {}),
+        "config": payload.get("config", {}),
+        "points": {
+            f"{row['mode']}:N{row['n_nodes']}": row["steps_per_sec"]
+            for row in payload.get("step_benchmarks", [])
+        },
+    }
+
+
+def _read_history(path: Path) -> list[dict]:
+    """Prior history entries; malformed lines are skipped with a warning."""
+    entries: list[dict] = []
+    if not path.exists():
+        return entries
+    for line_number, line in enumerate(
+        path.read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            logger.warning(
+                "%s:%d: skipping malformed bench-history line",
+                path,
+                line_number,
+            )
+    return entries
+
+
+def update_bench_history(
+    payload: dict,
+    path: str | Path,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> tuple[dict, list[str]]:
+    """Append this run to the history and flag steps/sec regressions.
+
+    Every benchmark point is compared against the *best* prior entry
+    for the same point; a drop of more than ``threshold`` (fraction) is
+    a regression.  The new entry is appended regardless, so a
+    regression is recorded evidence, not a write failure.  Returns
+    ``(entry, regressions)``; an empty regression list means the gate
+    passes (including the very first run, which has nothing to gate
+    against).
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError(
+            f"threshold must lie in (0, 1), got {threshold}"
+        )
+    path = Path(path)
+    entry = history_entry(payload)
+    best_prior: dict[str, float] = {}
+    for prior in _read_history(path):
+        for key, value in (prior.get("points") or {}).items():
+            try:
+                value = float(value)
+            except (TypeError, ValueError):
+                continue
+            if value > best_prior.get(key, 0.0):
+                best_prior[key] = value
+    regressions: list[str] = []
+    for key, current in sorted(entry["points"].items()):
+        best = best_prior.get(key)
+        if best is None or best <= 0.0:
+            continue
+        if current < (1.0 - threshold) * best:
+            regressions.append(
+                f"{key}: {current:.1f} steps/s is "
+                f"{1.0 - current / best:.1%} below the best prior "
+                f"{best:.1f} steps/s (threshold {threshold:.0%})"
+            )
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
+    return entry, regressions

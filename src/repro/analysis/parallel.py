@@ -68,13 +68,18 @@ def resolve_jobs(jobs: int | None, n_tasks: int) -> int:
     return max(1, min(jobs, n_tasks))
 
 
-def _run_captured(payload: tuple[Callable[[Any], Any], Any, bool]):
+def _run_captured(payload: tuple[Callable[[Any], Any], Any, bool, Any]):
     """Worker entry: run one task under a local observability context."""
-    fn, task, capture_trace = payload
+    fn, task, capture_trace, health = payload
     tracer = CollectingTracer() if capture_trace else NULL_TRACER
     registry = MetricsRegistry()
     timer = PhaseTimer()
-    with obs_context.observe(tracer=tracer, registry=registry, timer=timer):
+    # The parent's run-health configuration rides along so a --jobs > 1
+    # traced run carries the same invariant_audit/residual events (and
+    # the same strict-mode behavior) as a serial one.
+    with obs_context.observe(
+        tracer=tracer, registry=registry, timer=timer, health=health
+    ):
         result = fn(task)
     report = timer.report()
     telemetry = TaskTelemetry(
@@ -139,6 +144,10 @@ def merge_telemetry(
             )
             histogram.count += row["count"]
             histogram.sum += row["sum"]
+            if row.get("min") is not None:
+                histogram.min_value = min(histogram.min_value, row["min"])
+            if row.get("max") is not None:
+                histogram.max_value = max(histogram.max_value, row["max"])
             for position, count in enumerate(row["bucket_counts"]):
                 histogram.bucket_counts[position] += count
 
@@ -165,7 +174,9 @@ def run_tasks(
         return [fn(task) for task in task_list]
     context = obs_context.current()
     capture_trace = context.tracer.enabled
-    payloads = [(fn, task, capture_trace) for task in task_list]
+    payloads = [
+        (fn, task, capture_trace, context.health) for task in task_list
+    ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         outcomes = list(pool.map(_run_captured, payloads))
     results = []

@@ -21,6 +21,7 @@ from ..clustering.base import ClusteringAlgorithm
 from ..core import overhead as overhead_model
 from ..core.params import NetworkParameters
 from ..mobility import EpochRandomWaypointModel
+from ..obs.health import attach_run_health
 from ..routing import IntraClusterRoutingProtocol
 from ..sim import HelloProtocol, Simulation
 from .parallel import run_tasks
@@ -82,6 +83,9 @@ def _run_once(
     intra = IntraClusterRoutingProtocol(maintenance)
     sim.attach(intra)  # before maintenance: pre-repair membership view
     sim.attach(maintenance)
+    # Run-health protocols (invariant auditor + residual monitor) when
+    # the ambient context carries a RunHealthConfig; no-op otherwise.
+    attach_run_health(sim, maintenance)
 
     # Sample the head ratio across the measurement window, like the
     # paper's real-time P measurement.
@@ -99,6 +103,7 @@ def _run_once(
         if step_index % sample_every == 0:
             ratios.append(maintenance.head_ratio())
     sim.stats.stop_measuring()
+    sim.notify_run_end()
     sim.trace_run_end()
 
     frequencies = {

@@ -7,6 +7,7 @@ Subcommands::
     repro-manet run all [--quick]        # run every experiment
     repro-manet simulate scenario.json   # run a declarative scenario
     repro-manet trace-summary t.jsonl    # aggregate a telemetry trace
+    repro-manet report t.jsonl           # Markdown run-health report
     repro-manet bench                    # engine perf -> BENCH_engine.json
     repro-manet model --n 400 --rf 0.15 --vf 0.05
                                          # evaluate the closed-form model
@@ -20,6 +21,17 @@ serial run for any value.
 ``--metrics-json FILE`` exports the metrics registry and per-phase
 timing, ``--progress`` prints progress lines and the timing breakdown,
 and ``-v`` / ``--log-level`` control stdlib logging across the package.
+Run-health flags ride on the same commands: ``--audit [check|strict]``
+attaches the P1/P2 invariant auditor and the analytic-residual monitor
+(strict mode exits 3 on the first violation), and
+``--sample-resources SEC`` streams RSS/CPU/phase samples into the
+trace.  ``bench --history FILE`` appends steps/sec results to a JSONL
+history and exits 1 when a point regresses more than the threshold
+against the best prior entry.
+
+Exit codes: 0 success/healthy, 1 unhealthy (report problems, trace
+non-reconciliation, bench regression), 2 usage or input error,
+3 strict-mode invariant audit failure.
 
 The experiment tables printed here are the series behind the paper's
 figures; EXPERIMENTS.md archives the full-scale output.
@@ -87,6 +99,52 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
         "--progress",
         action="store_true",
         help="print progress lines and a final timing breakdown",
+    )
+    parser.add_argument(
+        "--audit",
+        nargs="?",
+        const="check",
+        default="off",
+        choices=["off", "check", "strict"],
+        help=(
+            "attach run-health protocols: P1/P2 invariant auditor and "
+            "analytic-residual monitor (bare --audit = check; strict "
+            "exits 3 on the first invariant violation)"
+        ),
+    )
+    parser.add_argument(
+        "--audit-every",
+        type=float,
+        default=1.0,
+        metavar="T",
+        help="simulated seconds between invariant audits (default 1.0)",
+    )
+    parser.add_argument(
+        "--residual-window",
+        type=float,
+        default=2.0,
+        metavar="T",
+        help="simulated seconds per residual-monitor window (default 2.0)",
+    )
+    parser.add_argument(
+        "--residual-rtol",
+        type=float,
+        default=0.15,
+        metavar="F",
+        help=(
+            "relative slack below the analytic bound tolerated before "
+            "a residual is flagged (default 0.15)"
+        ),
+    )
+    parser.add_argument(
+        "--sample-resources",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help=(
+            "sample RSS/CPU/engine-phase usage every SEC wall-clock "
+            "seconds into the trace (requires --trace; 0 disables)"
+        ),
     )
     _add_logging_flags(parser)
 
@@ -157,6 +215,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_logging_flags(trace_summary)
 
+    report = sub.add_parser(
+        "report",
+        help="render a Markdown run-health report from trace files",
+    )
+    report.add_argument(
+        "files", nargs="+", help="trace files written by --trace"
+    )
+    report.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    _add_logging_flags(report)
+
     sweep = sub.add_parser(
         "sweep", help="sweep one parameter, simulation vs analysis"
     )
@@ -217,6 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="J1,J2",
         help="also time a small sweep point at these jobs values, e.g. 1,4",
+    )
+    bench.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help=(
+            "append steps/sec results to this JSONL history and exit 1 "
+            "on regression vs the best prior entry"
+        ),
+    )
+    bench.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=0.20,
+        metavar="F",
+        help=(
+            "fractional steps/sec drop counted as a regression when "
+            "gating with --history (default 0.20)"
+        ),
     )
     _add_logging_flags(bench)
 
@@ -324,6 +416,30 @@ def _run_bench(args) -> int:
     for size, speedup in payload["speedup_vs_dense"].items():
         if speedup is not None:
             print(f"  N={size:>5s}  edge-engine speedup {speedup:.1f}x")
+    resources = payload.get("resources") or {}
+    if resources.get("samples"):
+        print(
+            f"  resources: peak RSS {resources['rss_kb_max'] / 1024:.0f} MiB"
+            f"  mean CPU {resources['cpu_util_mean']:.2f} cores"
+            f"  ({resources['rss_source']})"
+        )
+    if args.history is not None:
+        from .analysis.benchmark import update_bench_history
+
+        try:
+            entry, regressions = update_bench_history(
+                payload, args.history, threshold=args.regression_threshold
+            )
+        except (OSError, ValueError) as error:
+            raise _CliError(f"bench history: {error}") from None
+        print(
+            f"bench history: appended {len(entry['points'])} point(s) "
+            f"to {args.history}"
+        )
+        if regressions:
+            for line in regressions:
+                print(f"  REGRESSION {line}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -347,14 +463,53 @@ def _run_trace_summary(args) -> int:
     return 0 if summary.reconciles() else 1
 
 
+class _Telemetry:
+    """Telemetry channels opened for one CLI workload."""
+
+    def __init__(self, tracer, registry, timer, sampler):
+        self.tracer = tracer
+        self.registry = registry
+        self.timer = timer
+        self.sampler = sampler
+
+    def start(self) -> None:
+        if self.sampler is not None:
+            self.sampler.start()
+
+    def finish(self, args) -> None:
+        import json as _json
+        from pathlib import Path
+
+        # The sampler's closing sample still goes through the tracer,
+        # so stop it before the trace file is closed.
+        if self.sampler is not None:
+            self.sampler.stop()
+        if self.tracer is not None:
+            self.tracer.close()
+        if args.metrics_json is not None:
+            payload = {
+                "schema_version": 1,
+                "metrics": self.registry.to_dict(),
+                "timing": self.timer.report().to_dict(),
+            }
+            Path(args.metrics_json).write_text(
+                _json.dumps(payload, indent=2) + "\n"
+            )
+        if args.progress:
+            print()
+            print(self.timer.report().render())
+
+
 def _telemetry_scope(args):
     """Build the observability context requested by CLI flags.
 
-    Returns ``(context manager, tracer, registry, timer)``; the caller
-    runs the workload inside the context manager and then calls
-    :func:`_finish_telemetry`.
+    Returns ``(context manager, telemetry)``; the caller runs the
+    workload inside the context manager between ``telemetry.start()``
+    and ``telemetry.finish(args)``.
     """
     from .obs import JsonlTracer, MetricsRegistry, PhaseTimer, observe
+    from .obs.context import RunHealthConfig
+    from .obs.resources import ResourceSampler
 
     tracer = None
     if args.trace is not None:
@@ -364,46 +519,57 @@ def _telemetry_scope(args):
             raise _CliError(f"cannot open trace file: {error}") from None
     registry = MetricsRegistry() if args.metrics_json is not None else None
     timer = PhaseTimer()
-    return observe(tracer=tracer, registry=registry, timer=timer), tracer, registry, timer
-
-
-def _finish_telemetry(args, tracer, registry, timer) -> None:
-    import json as _json
-    from pathlib import Path
-
-    if tracer is not None:
-        tracer.close()
-    if args.metrics_json is not None:
-        payload = {
-            "schema_version": 1,
-            "metrics": registry.to_dict(),
-            "timing": timer.report().to_dict(),
-        }
-        Path(args.metrics_json).write_text(
-            _json.dumps(payload, indent=2) + "\n"
+    health = None
+    if args.audit != "off":
+        health = RunHealthConfig(
+            audit_every=args.audit_every,
+            strict=args.audit == "strict",
+            residual_window=args.residual_window,
+            residual_rtol=args.residual_rtol,
         )
-    if args.progress:
-        print()
-        print(timer.report().render())
+    sampler = None
+    if args.sample_resources > 0.0:
+        if tracer is None:
+            raise _CliError("--sample-resources requires --trace")
+        sampler = ResourceSampler(
+            interval=args.sample_resources, tracer=tracer, timer=timer
+        )
+    scope = observe(
+        tracer=tracer, registry=registry, timer=timer, health=health
+    )
+    return scope, _Telemetry(tracer, registry, timer, sampler)
+
+
+def _audit_failure(error) -> int:
+    print(f"audit failure: {error}", file=sys.stderr)
+    return 3
 
 
 def _run_simulate(args) -> int:
     import json as _json
 
+    from .obs import AuditError
     from .scenario import load_scenario, run_scenario
 
-    scope, tracer, registry, timer = _telemetry_scope(args)
-    with scope:
-        report = run_scenario(load_scenario(args.scenario))
+    scope, telemetry = _telemetry_scope(args)
+    telemetry.start()
+    try:
+        with scope:
+            report = run_scenario(load_scenario(args.scenario))
+    except AuditError as error:
+        return _audit_failure(error)
+    finally:
+        telemetry.finish(args)
     if args.json:
         print(_json.dumps(report.to_dict(), indent=2))
     else:
         print(report.render())
-    _finish_telemetry(args, tracer, registry, timer)
     return 0
 
 
 def _run_run(args) -> int:
+    from .obs import AuditError
+
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     csv_dir = None
     if args.csv is not None:
@@ -411,18 +577,47 @@ def _run_run(args) -> int:
 
         csv_dir = Path(args.csv)
         csv_dir.mkdir(parents=True, exist_ok=True)
-    scope, tracer, registry, timer = _telemetry_scope(args)
-    with scope:
-        for experiment_id in ids:
-            table = run_experiment(
-                experiment_id, quick=args.quick, jobs=args.jobs
-            )
-            print(table.render())
-            print()
-            if csv_dir is not None:
-                table.save_csv(csv_dir / f"{experiment_id}.csv")
-    _finish_telemetry(args, tracer, registry, timer)
+    scope, telemetry = _telemetry_scope(args)
+    telemetry.start()
+    try:
+        with scope:
+            for experiment_id in ids:
+                table = run_experiment(
+                    experiment_id, quick=args.quick, jobs=args.jobs
+                )
+                print(table.render())
+                print()
+                if csv_dir is not None:
+                    table.save_csv(csv_dir / f"{experiment_id}.csv")
+    except AuditError as error:
+        return _audit_failure(error)
+    finally:
+        telemetry.finish(args)
     return 0
+
+
+def _run_report(args) -> int:
+    from pathlib import Path
+
+    from .obs import build_report
+
+    try:
+        report = build_report(args.files)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 2
+    text = report.render()
+    if args.out is not None:
+        Path(args.out).write_text(text)
+        print(f"run-health report written to {args.out}")
+        for problem in report.problems():
+            print(f"  PROBLEM {problem}", file=sys.stderr)
+    else:
+        print(text)
+    return 0 if report.healthy else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -449,6 +644,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_bench(args)
         if args.command == "trace-summary":
             return _run_trace_summary(args)
+        if args.command == "report":
+            return _run_report(args)
         if args.command == "simulate":
             return _run_simulate(args)
         if args.command == "run":

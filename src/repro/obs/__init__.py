@@ -20,11 +20,25 @@ the ambient context (:func:`observe`), which is how the CLI turns on
 telemetry for whole experiments without touching their signatures.
 :func:`summarize_trace` closes the loop, folding a trace back into the
 per-category totals and rates that :class:`MessageStats` reported.
+
+On top of the three channels sits the **run-health layer**
+(:mod:`~repro.obs.audit`, :mod:`~repro.obs.residuals`,
+:mod:`~repro.obs.resources`, :mod:`~repro.obs.report`): a streaming
+P1/P2 invariant auditor, an online measured-vs-analytic-bound residual
+monitor, a background RSS/CPU sampler, and a Markdown report renderer
+over the resulting trace events — wired into simulations through
+:func:`attach_run_health` and a :class:`RunHealthConfig` carried by the
+ambient context (the CLI's ``--audit`` flag).
 """
 
-from .context import ObsContext, current, observe
+from .audit import AuditError, InvariantAuditor
+from .context import ObsContext, RunHealthConfig, current, observe
+from .health import attach_run_health
 from .log import PROGRESS_LOGGER, configure_logging, progress
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import HealthReport, TraceHealth, build_report
+from .residuals import MONITORED_CATEGORIES, ResidualMonitor
+from .resources import ResourceSampler, current_rss_kb
 from .summary import RunSummary, TraceSummary, read_trace, summarize_trace
 from .timing import PhaseTimer, PhaseTiming, TimingReport
 from .tracer import (
@@ -39,8 +53,19 @@ from .tracer import (
 
 __all__ = [
     "ObsContext",
+    "RunHealthConfig",
     "current",
     "observe",
+    "AuditError",
+    "InvariantAuditor",
+    "MONITORED_CATEGORIES",
+    "ResidualMonitor",
+    "ResourceSampler",
+    "current_rss_kb",
+    "attach_run_health",
+    "HealthReport",
+    "TraceHealth",
+    "build_report",
     "PROGRESS_LOGGER",
     "configure_logging",
     "progress",

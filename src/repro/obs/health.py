@@ -1,0 +1,82 @@
+"""Run-health wiring: attach auditor + residual monitor from ambient config.
+
+The CLI's ``--audit`` flag places a
+:class:`~repro.obs.context.RunHealthConfig` into the ambient
+observability context; any code that assembles a simulation stack then
+calls :func:`attach_run_health` after attaching its protocols, and the
+run-health layer (invariant auditor + analytic-residual monitor)
+appears — or does not, when no config is active — without the
+experiment signatures knowing about it.  Worker processes receive the
+same config through :mod:`repro.analysis.parallel`, so ``--jobs > 1``
+traced runs carry identical ``invariant_audit`` / ``residual`` events.
+"""
+
+from __future__ import annotations
+
+from .audit import InvariantAuditor
+from .context import RunHealthConfig, current
+from .residuals import MONITORED_CATEGORIES, ResidualMonitor
+
+__all__ = ["RunHealthConfig", "attach_run_health"]
+
+
+def attach_run_health(
+    sim,
+    maintenance=None,
+    categories=None,
+    config: RunHealthConfig | None = None,
+):
+    """Attach the run-health protocols to ``sim`` when configured.
+
+    Parameters
+    ----------
+    sim:
+        The simulation; must already have its protocol stack attached
+        (the auditor must run *after* maintenance repairs).
+    maintenance:
+        The cluster maintenance protocol, or ``None`` when the stack
+        has no one-hop clustering (then only the HELLO bound is
+        monitored and no invariant auditor is attached).
+    categories:
+        Residual categories to monitor; defaults to everything the
+        stack supports (``hello`` always, plus ``cluster``/``route``
+        when ``maintenance`` is present).
+    config:
+        Explicit configuration; defaults to the ambient context's
+        ``health`` field.  Returns ``(None, None)`` when neither is
+        set — the zero-cost default.
+
+    Returns
+    -------
+    (auditor, monitor):
+        The attached :class:`~repro.obs.audit.InvariantAuditor` and
+        :class:`~repro.obs.residuals.ResidualMonitor` (either may be
+        ``None``).
+    """
+    if config is None:
+        config = current().health
+    if config is None:
+        return None, None
+    auditor = None
+    if maintenance is not None:
+        auditor = sim.attach(
+            InvariantAuditor(
+                maintenance, every=config.audit_every, strict=config.strict
+            )
+        )
+    if categories is None:
+        categories = (
+            MONITORED_CATEGORIES if maintenance is not None else ("hello",)
+        )
+    monitor = None
+    if categories:
+        monitor = sim.attach(
+            ResidualMonitor(
+                sim.params,
+                maintenance,
+                categories=categories,
+                window=config.residual_window,
+                rtol=config.residual_rtol,
+            )
+        )
+    return auditor, monitor

@@ -74,7 +74,13 @@ class Gauge:
 
 @dataclass
 class Histogram:
-    """Bucketed distribution with total count and sum."""
+    """Bucketed distribution with total count, sum and value range.
+
+    Besides the Prometheus-style buckets, the extremes of the observed
+    values are tracked so :meth:`quantile` can interpolate within the
+    first and last occupied buckets instead of reporting a bucket bound
+    that no observation ever reached.
+    """
 
     name: str
     labels: dict[str, str] = field(default_factory=dict)
@@ -82,6 +88,8 @@ class Histogram:
     bucket_counts: list[int] = field(default_factory=list)
     count: int = 0
     sum: float = 0.0
+    min_value: float = float("inf")
+    max_value: float = float("-inf")
 
     def __post_init__(self) -> None:
         if tuple(self.bounds) != tuple(sorted(self.bounds)):
@@ -94,6 +102,10 @@ class Histogram:
         """Record one observation."""
         self.count += 1
         self.sum += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
         for position, bound in enumerate(self.bounds):
             if value <= bound:
                 self.bucket_counts[position] += 1
@@ -105,6 +117,62 @@ class Histogram:
         if self.count == 0:
             return float("nan")
         return self.sum / self.count
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the containing bucket, with the
+        bucket edges clamped to the observed value range — so a
+        single-sample histogram returns that sample for every ``q``,
+        and the overflow bucket interpolates toward the observed
+        maximum rather than infinity.  Returns NaN when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for position, bucket in enumerate(self.bucket_counts):
+            if bucket == 0:
+                continue
+            if cumulative + bucket < target:
+                cumulative += bucket
+                continue
+            lower = (
+                self.min_value
+                if position == 0
+                else max(self.bounds[position - 1], self.min_value)
+            )
+            upper = (
+                self.max_value
+                if position == len(self.bounds)
+                else min(self.bounds[position], self.max_value)
+            )
+            if upper < lower:
+                upper = lower
+            fraction = min(1.0, max(0.0, (target - cumulative) / bucket))
+            return lower + fraction * (upper - lower)
+        return self.max_value
+
+    def summary(self) -> dict:
+        """Count, sum, mean, range and standard quantiles as one dict.
+
+        The report renderer's one-stop view; NaN-valued statistics mark
+        an empty histogram.
+        """
+        empty = self.count == 0
+        nan = float("nan")
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean(),
+            "min": nan if empty else self.min_value,
+            "max": nan if empty else self.max_value,
+            "p50": self.quantile(0.5),
+            "p90": self.quantile(0.9),
+            "p99": self.quantile(0.99),
+        }
 
 
 class MetricsRegistry:
@@ -180,6 +248,7 @@ class MetricsRegistry:
                     }
                 )
             elif isinstance(metric, Histogram):
+                empty = metric.count == 0
                 histograms.append(
                     {
                         "name": metric.name,
@@ -188,6 +257,9 @@ class MetricsRegistry:
                         "bucket_counts": list(metric.bucket_counts),
                         "count": metric.count,
                         "sum": metric.sum,
+                        # inf is not JSON; an empty range serializes as null.
+                        "min": None if empty else metric.min_value,
+                        "max": None if empty else metric.max_value,
                     }
                 )
         return {

@@ -1,0 +1,421 @@
+"""Markdown run-health reports from JSONL traces.
+
+``repro-manet report`` renders one or more trace files into a single
+Markdown document with four diagnostic sections per trace:
+
+* **reconciliation** — the per-category message/bit totals, aggregated
+  from the ``msg_tx`` stream exactly as ``trace-summary`` computes them
+  (both commands share :func:`~repro.obs.summary.summarize_trace`, so
+  the numbers reconcile by construction), and the verdict of the
+  events-vs-``run_end`` closed loop;
+* **invariant timeline** — audits, violations and violation spans from
+  the ``invariant_audit`` stream;
+* **analytic residuals** — per-category window statistics (quantiles
+  via :meth:`~repro.obs.metrics.Histogram.summary`) and the final
+  measured-vs-bound verdicts from the ``residual`` stream;
+* **resources** — RSS/CPU aggregates and per-phase wall-clock totals
+  from the ``resource_sample`` stream.
+
+:meth:`HealthReport.healthy` folds it all into one boolean — the exit
+code of the CLI command — and :meth:`HealthReport.problems` lists what
+went wrong in one line each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import Histogram
+from .summary import TraceSummary, read_trace, summarize_trace
+
+__all__ = ["TraceHealth", "HealthReport", "build_report"]
+
+
+def _fmt(value, precision: str = ".4g") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, precision)
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list]) -> list[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(cell) for cell in row) + " |")
+    return lines
+
+
+@dataclass
+class _AuditTimeline:
+    """Aggregated ``invariant_audit`` stream of one simulation."""
+
+    audits: int = 0
+    violations: int = 0
+    spans: list[tuple[float, float]] = field(default_factory=list)
+    _open_since: float | None = None
+    last_time: float | None = None
+
+    def feed(self, record: dict) -> None:
+        self.audits += 1
+        time = float(record["t"])
+        if record.get("ok", True):
+            if self._open_since is not None:
+                self.spans.append((self._open_since, time))
+                self._open_since = None
+        else:
+            self.violations += 1
+            if self._open_since is None:
+                self._open_since = time
+        self.last_time = time
+
+    def close(self) -> None:
+        if self._open_since is not None and self.last_time is not None:
+            self.spans.append((self._open_since, self.last_time))
+            self._open_since = None
+
+
+@dataclass
+class TraceHealth:
+    """Everything the report knows about one trace file."""
+
+    summary: TraceSummary
+    audits: dict[int, _AuditTimeline] = field(default_factory=dict)
+    #: ``(sim, category) -> list`` of ``kind="window"`` residual records.
+    residual_windows: dict[tuple[int, str], list[dict]] = field(
+        default_factory=dict
+    )
+    #: ``(sim, category) -> `` the ``kind="final"`` verdict record.
+    residual_finals: dict[tuple[int, str], dict] = field(default_factory=dict)
+    resources: list[dict] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def problems(self) -> list[str]:
+        """Everything unhealthy about this trace, one line each."""
+        path = self.summary.path
+        found = [f"{path}: {m}" for m in self.summary.mismatches()]
+        for sim, timeline in sorted(self.audits.items()):
+            if timeline.violations:
+                found.append(
+                    f"{path}: sim {sim} failed {timeline.violations} of "
+                    f"{timeline.audits} invariant audits"
+                )
+        for (sim, category), final in sorted(self.residual_finals.items()):
+            if not final.get("ok", True):
+                found.append(
+                    f"{path}: sim {sim} {category} rate "
+                    f"{final['measured']:.4g} below analytic bound "
+                    f"{final['bound']:.4g}"
+                )
+        return found
+
+
+def analyze_trace(path) -> TraceHealth:
+    """Read one trace into a :class:`TraceHealth`."""
+    health = TraceHealth(summary=summarize_trace(path))
+    for record in read_trace(path):
+        event = record.get("event")
+        if event == "invariant_audit":
+            sim = int(record.get("sim", 0))
+            timeline = health.audits.get(sim)
+            if timeline is None:
+                timeline = health.audits[sim] = _AuditTimeline()
+            timeline.feed(record)
+        elif event == "residual":
+            sim = int(record.get("sim", 0))
+            key = (sim, record.get("category", "?"))
+            if record.get("kind") == "final":
+                health.residual_finals[key] = record
+            else:
+                health.residual_windows.setdefault(key, []).append(record)
+        elif event == "resource_sample":
+            health.resources.append(record)
+    for timeline in health.audits.values():
+        timeline.close()
+    return health
+
+
+@dataclass
+class HealthReport:
+    """A rendered-on-demand run-health report over one or more traces."""
+
+    traces: list[TraceHealth]
+
+    def problems(self) -> list[str]:
+        """All problems across traces (empty when healthy)."""
+        found: list[str] = []
+        for trace in self.traces:
+            found.extend(trace.problems())
+        return found
+
+    @property
+    def healthy(self) -> bool:
+        """Reconciliation holds, no audit violations, bounds respected."""
+        return not self.problems()
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The full Markdown document."""
+        lines = ["# Run-health report", ""]
+        problems = self.problems()
+        if problems:
+            lines.append("**Verdict: UNHEALTHY**")
+            lines.append("")
+            lines.extend(f"- {p}" for p in problems)
+        else:
+            lines.append("**Verdict: HEALTHY** — trace reconciles, "
+                         "invariants hold, measured rates respect the "
+                         "analytic bounds.")
+        lines.append("")
+        for trace in self.traces:
+            lines.extend(self._render_trace(trace))
+        return "\n".join(lines).rstrip() + "\n"
+
+    # ------------------------------------------------------------------
+    def _render_trace(self, trace: TraceHealth) -> list[str]:
+        summary = trace.summary
+        lines = [f"## Trace `{summary.path}`", ""]
+        lines.append(
+            f"- records: {summary.records}"
+        )
+        if summary.first_time is not None:
+            lines.append(
+                f"- simulated time span: {summary.first_time:.4g} .. "
+                f"{summary.last_time:.4g}"
+            )
+        lines.append(
+            "- events: "
+            + ", ".join(
+                f"{event} x{count}"
+                for event, count in sorted(summary.event_counts.items())
+            )
+        )
+        lines.append("")
+        lines.extend(self._render_totals(summary))
+        lines.extend(self._render_audits(trace))
+        lines.extend(self._render_residuals(trace))
+        lines.extend(self._render_resources(trace))
+        return lines
+
+    def _render_totals(self, summary: TraceSummary) -> list[str]:
+        lines = ["### Message totals and reconciliation", ""]
+        bits = summary.bits
+        rows = [
+            [category, count, bits[category]]
+            for category, count in sorted(summary.messages.items())
+        ]
+        if rows:
+            lines.extend(_table(["category", "messages", "bits"], rows))
+        else:
+            lines.append("No `msg_tx` events in this trace.")
+        lines.append("")
+        mismatches = summary.mismatches()
+        if mismatches:
+            lines.append("**Reconciliation FAILED:**")
+            lines.extend(f"- {m}" for m in mismatches)
+        elif any(
+            run.reported_totals is not None for run in summary.runs.values()
+        ):
+            lines.append(
+                "Reconciliation: traced `msg_tx` events match the "
+                "`run_end` reported totals exactly."
+            )
+        else:
+            lines.append(
+                "Reconciliation: no `run_end` totals present to check "
+                "against."
+            )
+        lines.append("")
+        per_run_rows = []
+        for sim, run in sorted(summary.runs.items()):
+            frequencies = run.frequencies()
+            if frequencies is None:
+                continue
+            for category, rate in frequencies.items():
+                per_run_rows.append([sim, run.n_nodes, category, rate])
+        if per_run_rows:
+            lines.append("Per-run measured rates (msgs/node/time):")
+            lines.append("")
+            lines.extend(
+                _table(["sim", "N", "category", "rate"], per_run_rows)
+            )
+            lines.append("")
+        return lines
+
+    def _render_audits(self, trace: TraceHealth) -> list[str]:
+        lines = ["### Invariant audits (P1/P2)", ""]
+        if not trace.audits:
+            lines.append(
+                "No `invariant_audit` events — run without `--audit`."
+            )
+            lines.append("")
+            return lines
+        rows = []
+        for sim, timeline in sorted(trace.audits.items()):
+            violation_time = sum(end - start for start, end in timeline.spans)
+            rows.append(
+                [
+                    sim,
+                    timeline.audits,
+                    timeline.violations,
+                    violation_time,
+                    "OK" if timeline.violations == 0 else "VIOLATED",
+                ]
+            )
+        lines.extend(
+            _table(
+                ["sim", "audits", "violations", "violation time", "status"],
+                rows,
+            )
+        )
+        lines.append("")
+        for sim, timeline in sorted(trace.audits.items()):
+            for start, end in timeline.spans:
+                lines.append(
+                    f"- sim {sim}: invariants violated from t={start:.4g} "
+                    f"to t={end:.4g}"
+                )
+        if any(timeline.spans for timeline in trace.audits.values()):
+            lines.append("")
+        return lines
+
+    def _render_residuals(self, trace: TraceHealth) -> list[str]:
+        lines = ["### Analytic residuals (measured vs lower bound)", ""]
+        keys = sorted(
+            set(trace.residual_windows) | set(trace.residual_finals)
+        )
+        if not keys:
+            lines.append("No `residual` events — run without `--audit`.")
+            lines.append("")
+            return lines
+        rows = []
+        for key in keys:
+            sim, category = key
+            windows = trace.residual_windows.get(key, [])
+            final = trace.residual_finals.get(key)
+            histogram = _window_histogram(windows, final)
+            stats = histogram.summary()
+            flagged = sum(1 for w in windows if not w.get("ok", True))
+            rows.append(
+                [
+                    sim,
+                    category,
+                    len(windows),
+                    flagged,
+                    stats["min"],
+                    stats["p50"],
+                    final["measured"] if final else None,
+                    final["bound"] if final else None,
+                    final["residual"] if final else None,
+                    ("OK" if final.get("ok") else "BELOW BOUND")
+                    if final
+                    else "-",
+                ]
+            )
+        lines.extend(
+            _table(
+                [
+                    "sim",
+                    "category",
+                    "windows",
+                    "flagged",
+                    "min rate",
+                    "p50 rate",
+                    "final rate",
+                    "bound",
+                    "residual",
+                    "verdict",
+                ],
+                rows,
+            )
+        )
+        lines.append("")
+        lines.append(
+            "A final rate below the bound flags a measurement-window bug "
+            "or a model-regime mismatch; single flagged windows are "
+            "ordinary burstiness."
+        )
+        lines.append("")
+        return lines
+
+    def _render_resources(self, trace: TraceHealth) -> list[str]:
+        lines = ["### Resources", ""]
+        samples = trace.resources
+        if not samples:
+            lines.append(
+                "No `resource_sample` events — run without "
+                "`--sample-resources`."
+            )
+            lines.append("")
+            return lines
+        rss = Histogram("rss", bounds=_rss_buckets(samples))
+        for sample in samples:
+            rss.observe(float(sample.get("rss_kb", 0)))
+        stats = rss.summary()
+        utils = [float(s.get("cpu_util", 0.0)) for s in samples[1:]] or [
+            float(s.get("cpu_util", 0.0)) for s in samples
+        ]
+        lines.append(
+            f"- samples: {len(samples)} over "
+            f"{samples[-1].get('wall_s', 0.0):.4g}s wall-clock"
+        )
+        lines.append(
+            f"- RSS (KiB): min {stats['min']:.4g}, p50 {stats['p50']:.4g}, "
+            f"max {stats['max']:.4g}"
+        )
+        lines.append(
+            f"- CPU utilisation: mean {sum(utils) / len(utils):.2f} cores"
+        )
+        phase_totals: dict[str, float] = {}
+        for sample in samples:
+            for phase, seconds in (sample.get("phases") or {}).items():
+                phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+        if phase_totals:
+            total = sum(phase_totals.values())
+            lines.append("")
+            lines.extend(
+                _table(
+                    ["phase", "seconds", "share"],
+                    [
+                        [phase, seconds, f"{seconds / total:.1%}"]
+                        for phase, seconds in sorted(
+                            phase_totals.items(), key=lambda kv: -kv[1]
+                        )
+                    ],
+                )
+            )
+        lines.append("")
+        return lines
+
+
+def _window_histogram(windows: list[dict], final: dict | None) -> Histogram:
+    """Histogram of per-window measured rates, bucketed around the bound."""
+    bound = None
+    if final is not None:
+        bound = float(final.get("bound", 0.0))
+    elif windows:
+        bound = float(windows[-1].get("bound", 0.0))
+    if not bound or bound <= 0.0:
+        bound = 1.0
+    buckets = tuple(
+        bound * factor for factor in (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0)
+    )
+    histogram = Histogram("residual_rate", bounds=buckets)
+    for window in windows:
+        histogram.observe(float(window.get("measured", 0.0)))
+    return histogram
+
+
+def _rss_buckets(samples: list[dict]) -> tuple[float, ...]:
+    peak = max(float(s.get("rss_kb", 0)) for s in samples) or 1.0
+    return tuple(peak * f for f in (0.25, 0.5, 0.75, 0.9, 1.0))
+
+
+def build_report(paths) -> HealthReport:
+    """Analyze one or more trace files into a :class:`HealthReport`."""
+    return HealthReport(traces=[analyze_trace(path) for path in paths])

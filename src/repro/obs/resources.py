@@ -1,0 +1,179 @@
+"""Background resource sampling: RSS, CPU and engine phase deltas.
+
+A :class:`ResourceSampler` runs a daemon thread that wakes every
+``interval`` wall-clock seconds and records one sample: the process's
+current resident set size (``/proc/self/statm`` where available, with
+the ``getrusage`` peak as fallback), CPU utilisation since the previous
+sample (user+system time delta over wall delta), and — when a shared
+:class:`~repro.obs.timing.PhaseTimer` is supplied — the per-phase
+wall-clock charged since the previous sample, which shows *what the
+engine was doing* while the resources were consumed.
+
+Samples are kept in memory (``samples``) and, when a tracer is given,
+mirrored as ``resource_sample`` trace events whose envelope ``t`` is
+wall-clock seconds since :meth:`start` (resource usage has no simulated
+time).  ``repro-manet bench`` and the CLI's ``--sample-resources`` flag
+are the two consumers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from time import perf_counter
+
+__all__ = ["ResourceSampler", "current_rss_kb"]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def current_rss_kb() -> int:
+    """Current resident set size in kilobytes.
+
+    Reads ``/proc/self/statm`` (Linux); falls back to the ``getrusage``
+    *peak* RSS elsewhere — still an upper bound, and monotone, so the
+    report labels it accordingly via :data:`ResourceSampler.rss_source`.
+    """
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            resident_pages = int(fh.read().split()[1])
+        return resident_pages * _PAGE_SIZE // 1024
+    except (OSError, IndexError, ValueError):
+        import resource
+
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class ResourceSampler:
+    """Samples process resources on a wall-clock cadence.
+
+    Parameters
+    ----------
+    interval:
+        Wall-clock seconds between samples.
+    tracer:
+        Optional tracer to mirror samples into as ``resource_sample``
+        events; samples are always collected in :attr:`samples`.
+    timer:
+        Optional shared :class:`~repro.obs.timing.PhaseTimer`; each
+        sample then carries the per-phase seconds charged since the
+        previous sample.
+    """
+
+    def __init__(self, interval: float = 0.5, tracer=None, timer=None):
+        if interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.interval = interval
+        self.tracer = tracer
+        self.timer = timer
+        self.samples: list[dict] = []
+        self.rss_source = "statm" if os.path.exists("/proc/self/statm") else (
+            "getrusage-peak"
+        )
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self._last_wall: float | None = None
+        self._last_cpu: float | None = None
+        self._last_phases: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ResourceSampler":
+        """Take a baseline and begin sampling in a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("sampler already started")
+        self._started_at = self._last_wall = perf_counter()
+        self._last_cpu = self._cpu_seconds()
+        self._last_phases = self._phase_snapshot()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-resource-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread and take one final closing sample."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self.sample()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    @staticmethod
+    def _cpu_seconds() -> float:
+        times = os.times()
+        return times.user + times.system
+
+    def _phase_snapshot(self) -> dict[str, float]:
+        if self.timer is None:
+            return {}
+        try:
+            return {
+                p.phase: p.seconds for p in self.timer.report().phases
+            }
+        except RuntimeError:
+            # The engine thread registered a new phase mid-iteration;
+            # skip this snapshot rather than crash the sampler.
+            return dict(self._last_phases)
+
+    def sample(self) -> dict:
+        """Take one sample now (also usable without the thread)."""
+        wall = perf_counter()
+        cpu = self._cpu_seconds()
+        phases = self._phase_snapshot()
+        elapsed = wall - (self._started_at if self._started_at else wall)
+        wall_delta = wall - self._last_wall if self._last_wall else 0.0
+        cpu_delta = cpu - self._last_cpu if self._last_cpu is not None else 0.0
+        phase_deltas = {
+            name: round(seconds - self._last_phases.get(name, 0.0), 9)
+            for name, seconds in phases.items()
+            if seconds - self._last_phases.get(name, 0.0) > 0.0
+        }
+        record = {
+            "wall_s": elapsed,
+            "rss_kb": current_rss_kb(),
+            "cpu_s": cpu,
+            "cpu_util": cpu_delta / wall_delta if wall_delta > 0 else 0.0,
+            "phases": phase_deltas,
+        }
+        self._last_wall = wall
+        self._last_cpu = cpu
+        self._last_phases = phases
+        self.samples.append(record)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit("resource_sample", elapsed, **record)
+        return record
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregate view of all samples taken (for bench reports)."""
+        if not self.samples:
+            return {
+                "samples": 0,
+                "interval_s": self.interval,
+                "rss_source": self.rss_source,
+            }
+        rss = [s["rss_kb"] for s in self.samples]
+        utils = [s["cpu_util"] for s in self.samples[1:] or self.samples]
+        return {
+            "samples": len(self.samples),
+            "interval_s": self.interval,
+            "rss_source": self.rss_source,
+            "rss_kb_max": max(rss),
+            "rss_kb_mean": sum(rss) / len(rss),
+            "cpu_util_mean": sum(utils) / len(utils) if utils else 0.0,
+            "wall_s": self.samples[-1]["wall_s"],
+        }

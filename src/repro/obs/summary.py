@@ -14,12 +14,15 @@ which is precisely the regression this closed loop exists to catch.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from .tracer import TRACE_SCHEMA_VERSION
 
 __all__ = ["RunSummary", "TraceSummary", "read_trace", "summarize_trace"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -172,34 +175,62 @@ class TraceSummary:
 
 
 def read_trace(path):
-    """Yield every record of a JSONL trace, checking the schema version."""
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line_number, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{line_number}: not valid JSON: {error}"
-                ) from None
-            version = record.get("schema")
-            if version != TRACE_SCHEMA_VERSION:
-                raise ValueError(
-                    f"{path}:{line_number}: unsupported trace schema "
-                    f"version {version!r} (supported: {TRACE_SCHEMA_VERSION})"
+    """Yield every record of a JSONL trace, checking the schema version.
+
+    A malformed *final* line in a trace with no trailing newline — the
+    signature of a writer killed mid-record — is skipped with a warning
+    rather than failing the whole read; a malformed line anywhere else
+    (or one the writer did terminate) still raises, because a trace
+    that is corrupt in the middle cannot be trusted at all.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    last_content = -1
+    if text and not text.endswith("\n"):
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            if line_number - 1 == last_content:
+                logger.warning(
+                    "%s:%d: skipping truncated final record "
+                    "(trace writer was interrupted mid-line)",
+                    path,
+                    line_number,
                 )
-            yield record
+                return
+            raise ValueError(
+                f"{path}:{line_number}: not valid JSON: {error}"
+            ) from None
+        version = record.get("schema")
+        if version != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}:{line_number}: unsupported trace schema "
+                f"version {version!r} (supported: {TRACE_SCHEMA_VERSION})"
+            )
+        yield record
 
 
 def summarize_trace(path) -> TraceSummary:
-    """Aggregate a trace file into a :class:`TraceSummary`."""
+    """Aggregate a trace file into a :class:`TraceSummary`.
+
+    Raises ``ValueError`` when the trace contains no records at all —
+    an empty file is always a broken pipeline, never a healthy run.
+    """
     summary = TraceSummary(path=str(path))
     for record in read_trace(path):
         summary.records += 1
         event = record.get("event", "?")
         summary.event_counts[event] = summary.event_counts.get(event, 0) + 1
+        if event == "resource_sample":
+            # Wall-clock envelope and no owning run; counted above only.
+            continue
         time = record.get("t")
         if time is not None:
             if summary.first_time is None:
@@ -222,4 +253,6 @@ def summarize_trace(path) -> TraceSummary:
         elif event == "run_end":
             run.measured_time = float(record["measured_time"])
             run.reported_totals = record.get("totals")
+    if summary.records == 0:
+        raise ValueError(f"{path}: empty trace (no records)")
     return summary

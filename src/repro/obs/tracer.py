@@ -31,11 +31,26 @@ Event vocabulary (``TRACE_EVENTS``):
     Control messages transmitted: ``category``, ``messages``, ``bits``.
     Emitted only inside the measurement window, so per-category sums
     reproduce :class:`~repro.sim.stats.MessageStats` totals exactly.
+``invariant_audit``
+    One run of the P1/P2 invariant auditor: per-kind violation counts
+    and the audit verdict (see :mod:`repro.obs.audit`).
+``residual``
+    One analytic-residual sample: a measured per-node message rate
+    compared against the closed-form lower bound, per category and
+    window, plus a ``kind="final"`` whole-run verdict record
+    (see :mod:`repro.obs.residuals`).
+``resource_sample``
+    One background resource sample: current RSS, CPU utilisation and
+    engine phase-timer deltas (see :mod:`repro.obs.resources`).  The
+    envelope ``t`` is *wall-clock seconds since sampling started*, not
+    simulated time — it is the only event emitted off the engine's
+    clock.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 
 __all__ = [
@@ -68,6 +83,9 @@ TRACE_EVENTS = frozenset(
         "head_change",
         "cluster_reaffiliation",
         "msg_tx",
+        "invariant_audit",
+        "residual",
+        "resource_sample",
     }
 )
 
@@ -165,6 +183,9 @@ class JsonlTracer(Tracer):
         self.emitted = 0
         self.suppressed = 0
         self._steps_seen = 0
+        # The resource sampler emits from a background thread; the lock
+        # keeps each record's two writes (payload + newline) atomic.
+        self._lock = threading.Lock()
         if hasattr(path, "write"):
             self._fh = path
             self._owns_fh = False
@@ -191,11 +212,11 @@ class JsonlTracer(Tracer):
             "t": float(time),
         }
         record.update(fields)
-        self._fh.write(
-            json.dumps(record, separators=(",", ":"), default=_jsonable)
-        )
-        self._fh.write("\n")
-        self.emitted += 1
+        payload = json.dumps(record, separators=(",", ":"), default=_jsonable)
+        with self._lock:
+            self._fh.write(payload)
+            self._fh.write("\n")
+            self.emitted += 1
 
     def close(self) -> None:
         if self._owns_fh and not self._fh.closed:

@@ -258,6 +258,24 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
     else:  # "none": clustering only
         sim.attach(maintenance)
 
+    # Run-health protocols (invariant auditor + residual monitor) when
+    # the ambient context carries a RunHealthConfig.  Only categories
+    # the assembled stack actually produces are bound-checked: HELLO
+    # needs the beacon protocol, CLUSTER the maintenance protocol, and
+    # ROUTE the hybrid (proactive intra-cluster) stack.
+    from .obs.health import attach_run_health
+
+    health_categories = []
+    if any(p.name == "hello" for p in sim.protocols):
+        health_categories.append("hello")
+    if maintenance is not None:
+        health_categories.append("cluster")
+    if config.routing == "hybrid":
+        health_categories.append("route")
+    attach_run_health(
+        sim, maintenance, categories=tuple(health_categories)
+    )
+
     traffic_protocol = None
     if config.flows:
         if router_adapter is None:

@@ -99,6 +99,15 @@ class Protocol:
     def on_step_end(self, sim: "Simulation", time: float) -> None:
         """Called after all link events of the step were delivered."""
 
+    def on_run_end(self, sim: "Simulation", time: float) -> None:
+        """Called once when a measurement run finishes.
+
+        Fired by :meth:`Simulation.run` after the measurement window
+        closes (and by drivers that step manually, via
+        :meth:`Simulation.notify_run_end`) — the hook run-health
+        protocols use to flush partial windows and emit final verdicts.
+        """
+
 
 class Simulation:
     """Synchronous time-stepped simulation of ``N`` mobile nodes.
@@ -247,6 +256,19 @@ class Simulation:
                 warmup=float(warmup),
                 protocols=[p.name for p in self._protocols],
             )
+
+    def notify_run_end(self) -> None:
+        """Deliver ``on_run_end`` to every protocol, charged to its phase.
+
+        :meth:`run` calls this automatically after the measurement
+        window closes; drivers that step the simulation manually should
+        call it before :meth:`trace_run_end` so run-health protocols
+        can flush their final telemetry into the trace.
+        """
+        for protocol in self._protocols:
+            h0 = perf_counter()
+            protocol.on_run_end(self, self.time)
+            self.timer.add(f"protocol:{protocol.name}", perf_counter() - h0)
 
     def trace_run_end(self) -> None:
         """Emit ``run_end`` with final totals (no-op when untraced)."""
@@ -476,6 +498,7 @@ class Simulation:
         for _ in range(measured_steps):
             self.step()
         self.stats.stop_measuring()
+        self.notify_run_end()
         logger.info(
             "sim %d: finished in %.2fs wall-clock",
             self.sim_id,

@@ -1,0 +1,119 @@
+"""Bench-history tracking: append, regression gating, tolerant reads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.benchmark import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    history_entry,
+    update_bench_history,
+)
+
+
+def _payload(steps_per_sec=1000.0, mode="edge-set", n_nodes=100):
+    return {
+        "machine": {"python": "3.x", "cpus": 8},
+        "config": {"steps": 30},
+        "step_benchmarks": [
+            {
+                "mode": mode,
+                "n_nodes": n_nodes,
+                "steps_per_sec": steps_per_sec,
+                "peak_rss_kb": 1,
+            }
+        ],
+    }
+
+
+class TestHistoryEntry:
+    def test_entry_shape(self):
+        entry = history_entry(_payload(steps_per_sec=512.0))
+        assert entry["schema"] == 1
+        assert entry["points"] == {"edge-set:N100": 512.0}
+        assert entry["machine"]["cpus"] == 8
+        # ISO-8601 UTC timestamp.
+        assert "T" in entry["recorded_at"]
+        assert entry["recorded_at"].endswith("+00:00")
+
+
+class TestUpdateBenchHistory:
+    def test_first_run_appends_without_regression(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entry, regressions = update_bench_history(_payload(1000.0), path)
+        assert regressions == []
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == entry
+
+    def test_regression_vs_best_prior_is_flagged(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        update_bench_history(_payload(1000.0), path)
+        update_bench_history(_payload(800.0), path)  # best stays 1000
+        _, regressions = update_bench_history(_payload(700.0), path)
+        assert len(regressions) == 1
+        assert "edge-set:N100" in regressions[0]
+        assert "1000.0" in regressions[0]
+        # The regressing entry is still recorded as evidence.
+        assert len(path.read_text().splitlines()) == 3
+
+    def test_within_threshold_passes(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        update_bench_history(_payload(1000.0), path)
+        _, regressions = update_bench_history(
+            _payload(1000.0 * (1.0 - DEFAULT_REGRESSION_THRESHOLD) + 1.0),
+            path,
+        )
+        assert regressions == []
+
+    def test_points_only_gate_against_matching_points(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        update_bench_history(_payload(1000.0, n_nodes=500), path)
+        _, regressions = update_bench_history(
+            _payload(10.0, n_nodes=100), path
+        )
+        assert regressions == []
+
+    def test_malformed_history_lines_are_skipped(self, tmp_path, caplog):
+        path = tmp_path / "history.jsonl"
+        update_bench_history(_payload(1000.0), path)
+        with path.open("a") as fh:
+            fh.write("{not json\n")
+        with caplog.at_level("WARNING", logger="repro.analysis.benchmark"):
+            _, regressions = update_bench_history(_payload(500.0), path)
+        assert "malformed bench-history line" in caplog.text
+        assert regressions  # the valid prior entry still gates
+
+    def test_threshold_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="threshold"):
+            update_bench_history(
+                _payload(), tmp_path / "h.jsonl", threshold=1.5
+            )
+
+
+class TestBenchCliHistory:
+    def test_bench_appends_and_gates(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        history = tmp_path / "history.jsonl"
+        argv = [
+            "bench",
+            "--out", str(out),
+            "--sizes", "60",
+            "--steps", "3",
+            "--history", str(history),
+        ]
+        assert main(argv) == 0
+        assert len(history.read_text().splitlines()) == 1
+        capsys.readouterr()
+
+        # Plant an impossible prior best: the next run must regress.
+        entry = json.loads(history.read_text().splitlines()[0])
+        entry["points"] = {k: v * 100.0 for k, v in entry["points"].items()}
+        with history.open("a") as fh:
+            fh.write(json.dumps(entry) + "\n")
+        assert main(argv) == 1
+        assert "REGRESSION" in capsys.readouterr().err

@@ -60,6 +60,51 @@ class TestHistogram:
         with pytest.raises(ValueError, match="sorted"):
             Histogram("h", bounds=(2.0, 1.0))
 
+    def test_quantile_of_empty_is_nan(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        assert math.isnan(histogram.quantile(0.5))
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert math.isnan(summary["p50"])
+        assert math.isnan(summary["min"])
+
+    def test_quantile_single_sample_is_exact_for_all_q(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        histogram.observe(1.7)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert histogram.quantile(q) == pytest.approx(1.7)
+
+    def test_quantile_interpolates_within_buckets(self):
+        histogram = Histogram("h", bounds=(10.0, 20.0, 30.0))
+        for value in (2.0, 12.0, 14.0, 16.0, 18.0, 25.0):
+            histogram.observe(value)
+        # Estimates stay within the observed range and are monotone.
+        previous = -math.inf
+        for q in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0):
+            estimate = histogram.quantile(q)
+            assert 2.0 <= estimate <= 25.0
+            assert estimate >= previous
+            previous = estimate
+        assert histogram.quantile(1.0) == pytest.approx(25.0)
+        assert histogram.quantile(0.0) == pytest.approx(2.0)
+
+    def test_quantile_rejects_out_of_range_q(self):
+        histogram = Histogram("h")
+        with pytest.raises(ValueError, match="q"):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError, match="q"):
+            histogram.quantile(-0.1)
+
+    def test_summary_tracks_min_max_mean(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 0.5
+        assert summary["max"] == 5.0
+        assert summary["mean"] == pytest.approx(7.0 / 3.0)
+
 
 class TestMetricsRegistry:
     def test_same_name_and_labels_share_instrument(self):
@@ -230,6 +275,36 @@ class TestReadTrace:
         path = tmp_path / "t.jsonl"
         path.write_text('{"schema": 1, "event": "step", "t": 0}\n\n')
         assert len(list(read_trace(path))) == 1
+
+    def test_truncated_final_line_is_skipped_with_warning(
+        self, tmp_path, caplog
+    ):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"schema": 1, "event": "step", "t": 0}\n'
+            '{"schema": 1, "event": "st'  # writer killed mid-record
+        )
+        with caplog.at_level("WARNING", logger="repro.obs.summary"):
+            records = list(read_trace(path))
+        assert len(records) == 1
+        assert "truncated final record" in caplog.text
+
+    def test_newline_terminated_bad_line_still_raises(self, tmp_path):
+        # A malformed line the writer *did* terminate is corruption,
+        # not truncation, even when it is the last line.
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"schema": 1, "event": "step", "t": 0}\n'
+            '{"schema": 1, "event": "st\n'
+        )
+        with pytest.raises(ValueError, match="not valid JSON"):
+            list(read_trace(path))
+
+    def test_empty_trace_summary_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty trace"):
+            summarize_trace(path)
 
 
 class TestSummarizeTrace:

@@ -170,3 +170,46 @@ class TestTelemetryMerge:
         phases = {p.phase: p for p in timer.report().phases}
         assert phases["mobility"].seconds == 0.5
         assert phases["mobility"].calls == 10
+
+
+class TestRunHealthPropagation:
+    """Workers must inherit the ambient RunHealthConfig (satellite 3)."""
+
+    def _health_events(self, jobs):
+        from repro.obs import CollectingTracer, RunHealthConfig
+
+        tracer = CollectingTracer()
+        config = RunHealthConfig(
+            audit_every=0.5, strict=False, residual_window=0.5,
+            residual_rtol=0.5,
+        )
+        with observe(tracer=tracer, health=config):
+            measure_point(
+                _tiny_params(), 0.15, seeds=2, duration=1.0, warmup=0.2,
+                jobs=jobs,
+            )
+        # Group the health events by sim id, then drop the id: parallel
+        # runs get remapped ids, but per-run event content must match.
+        by_sim: dict[int, list[tuple]] = {}
+        for record in tracer.records:
+            if record["event"] not in ("invariant_audit", "residual"):
+                continue
+            fields = tuple(
+                sorted(
+                    (k, v)
+                    for k, v in record.items()
+                    if k not in ("sim", "schema")
+                )
+            )
+            by_sim.setdefault(record["sim"], []).append(fields)
+        return sorted(by_sim.values())
+
+    def test_parallel_run_carries_identical_health_events(self):
+        serial = self._health_events(jobs=1)
+        parallel = self._health_events(jobs=2)
+        assert serial  # the health layer actually ran
+        assert any(
+            any(dict(fields)["event"] == "invariant_audit" for fields in run)
+            for run in serial
+        )
+        assert serial == parallel

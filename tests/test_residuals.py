@@ -1,0 +1,151 @@
+"""Analytic-residual monitor: window mechanics and bound verification.
+
+The load-bearing case is the hand-computed one: for constant-velocity
+mobility with event-mode HELLO the paper's Eqn (4) lower bound
+``f_hello >= 8 d v / (pi^2 r)`` is known in closed form, and the
+measured beacon rate must sit at or above it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.clustering import ClusterMaintenanceProtocol, LowestIdClustering
+from repro.core.degree import expected_degree
+from repro.core.overhead import hello_frequency
+from repro.core.params import NetworkParameters
+from repro.mobility import ConstantVelocityModel, EpochRandomWaypointModel
+from repro.obs import CollectingTracer, ResidualMonitor
+from repro.obs.residuals import MONITORED_CATEGORIES
+from repro.routing import IntraClusterRoutingProtocol
+from repro.sim import HelloProtocol, Simulation
+
+
+def _hello_only_sim(params, seed=0, tracer=None, mobility=None):
+    sim = Simulation(
+        params,
+        mobility or ConstantVelocityModel(params.velocity),
+        seed=seed,
+        tracer=tracer,
+    )
+    sim.attach(HelloProtocol(mode="event"))
+    return sim
+
+
+class TestMonitorValidation:
+    def test_cluster_category_requires_maintenance(self):
+        params = NetworkParameters.from_fractions(
+            n_nodes=40, range_fraction=0.2, velocity_fraction=0.05
+        )
+        with pytest.raises(ValueError, match="head ratio"):
+            ResidualMonitor(params, categories=("hello", "cluster"))
+
+    def test_unknown_category_rejected(self):
+        params = NetworkParameters.from_fractions(
+            n_nodes=40, range_fraction=0.2, velocity_fraction=0.05
+        )
+        with pytest.raises(ValueError, match="no analytic bound"):
+            ResidualMonitor(params, categories=("hello", "data"))
+
+    def test_bad_window_and_rtol_rejected(self):
+        params = NetworkParameters.from_fractions(
+            n_nodes=40, range_fraction=0.2, velocity_fraction=0.05
+        )
+        with pytest.raises(ValueError, match="window"):
+            ResidualMonitor(params, categories=("hello",), window=0.0)
+        with pytest.raises(ValueError, match="rtol"):
+            ResidualMonitor(params, categories=("hello",), rtol=-0.1)
+
+
+class TestHelloBoundHandComputed:
+    """Satellite check: measured HELLO rate vs the Eqn (4) closed form."""
+
+    def test_cv_run_meets_closed_form_lower_bound(self, params):
+        tracer = CollectingTracer()
+        sim = _hello_only_sim(params, tracer=tracer)
+        monitor = sim.attach(
+            ResidualMonitor(
+                params, categories=("hello",), window=1.0, rtol=0.05
+            )
+        )
+        sim.run(duration=5.0, warmup=1.0)
+
+        # The bound the monitor applied is exactly Eqn (4).
+        degree = expected_degree(
+            params.n_nodes, params.density, params.tx_range
+        )
+        by_hand = (
+            8.0 * degree * params.velocity / (math.pi**2 * params.tx_range)
+        )
+        assert hello_frequency(params) == pytest.approx(by_hand)
+
+        verdict = monitor.final_verdict["hello"]
+        assert verdict["bound"] == pytest.approx(by_hand)
+        # Event-mode HELLO beacons at least once per generated link, so
+        # the measured rate must reach the analytic minimum.
+        assert verdict["measured"] >= by_hand * 0.95
+        assert verdict["ok"] is True
+        assert monitor.ok
+
+        finals = [
+            r for r in tracer.of("residual") if r["kind"] == "final"
+        ]
+        assert len(finals) == 1
+        assert finals[0]["category"] == "hello"
+        assert finals[0]["measured"] == pytest.approx(verdict["measured"])
+
+
+class TestWindowMechanics:
+    def test_windows_cover_measurement_only(self, params):
+        tracer = CollectingTracer()
+        sim = _hello_only_sim(params, tracer=tracer)
+        monitor = sim.attach(
+            ResidualMonitor(params, categories=("hello",), window=1.0)
+        )
+        sim.run(duration=4.0, warmup=1.0)
+        windows = [
+            r for r in tracer.of("residual") if r["kind"] == "window"
+        ]
+        assert monitor.windows["hello"] == len(windows)
+        assert 3 <= len(windows) <= 5
+        for record in windows:
+            # No window may start inside the warm-up phase.
+            assert record["window_start"] >= 1.0 - 1e-9
+            assert record["elapsed"] > 0.0
+            assert record["residual"] == pytest.approx(
+                record["measured"] - record["bound"]
+            )
+
+    def test_full_stack_monitors_all_three_categories(self, params):
+        tracer = CollectingTracer()
+        sim = Simulation(
+            params,
+            EpochRandomWaypointModel(params.velocity, epoch=1.0),
+            seed=0,
+            tracer=tracer,
+        )
+        sim.attach(HelloProtocol(mode="event"))
+        maintenance = ClusterMaintenanceProtocol(LowestIdClustering())
+        sim.attach(IntraClusterRoutingProtocol(maintenance))
+        sim.attach(maintenance)
+        monitor = sim.attach(
+            ResidualMonitor(params, maintenance, window=1.0, rtol=0.05)
+        )
+        sim.run(duration=4.0, warmup=1.0)
+        assert set(monitor.final_verdict) == set(MONITORED_CATEGORIES)
+        for category in MONITORED_CATEGORIES:
+            verdict = monitor.final_verdict[category]
+            assert verdict["windows"] == monitor.windows[category]
+            assert verdict["bound"] > 0.0
+            assert verdict["measured"] >= 0.0
+        # CLUSTER/ROUTE window events carry the measured head ratio.
+        cluster_windows = [
+            r
+            for r in tracer.of("residual")
+            if r["kind"] == "window" and r["category"] == "cluster"
+        ]
+        assert cluster_windows
+        for record in cluster_windows:
+            assert 0.0 < record["head_ratio"] <= 1.0
