@@ -24,21 +24,41 @@ Determinism: tasks carry explicit seeds and workers derive *all*
 randomness from them, so scheduling cannot leak into results.  The only
 parallel/serial difference is telemetry interleaving (merged per task,
 in task order) — never the task results themselves.
+
+Because every task is such a pure function, its result can be memoized:
+when a :class:`~repro.store.disk.ResultStore` is active (passed
+explicitly or ambient via :func:`repro.store.use_store`), each task is
+fingerprinted (:mod:`repro.store.fingerprint`) and the store is
+consulted *before* simulating — hits return the stored result, misses
+run and write their record back (in ``--jobs > 1`` runs the *workers*
+write, as soon as each task finishes, so an interrupted sweep resumes
+from every completed task; the parent only merges telemetry).  Cache
+outcomes surface as ``cache_hit`` / ``cache_miss`` / ``cache_write``
+counters in the ambient metrics registry and as trace events of the
+same names (emitted off the simulated clock, at ``t=0``).  Tasks whose
+payload cannot be fingerprinted (for example one carrying an open RNG)
+are silently run uncached — the store can never break a run.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
 
 from ..obs import context as obs_context
 from ..obs.metrics import MetricsRegistry
 from ..obs.timing import PhaseTimer
 from ..obs.tracer import NULL_TRACER, CollectingTracer
+from ..store import MISS, FingerprintError, fingerprint, task_identity
+from ..store import context as store_context
 
 __all__ = ["TaskTelemetry", "resolve_jobs", "run_tasks"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -68,9 +88,28 @@ def resolve_jobs(jobs: int | None, n_tasks: int) -> int:
     return max(1, min(jobs, n_tasks))
 
 
-def _run_captured(payload: tuple[Callable[[Any], Any], Any, bool, Any]):
+def _emit_cache_event(
+    context: obs_context.ObsContext, outcome: str, key: str, fn_path: str
+) -> None:
+    """Record one cache outcome in the ambient registry and trace.
+
+    Cache events happen outside any simulation run, so they carry
+    ``t=0`` and no ``sim`` field (readers treat them as runless, like
+    ``resource_sample``).
+    """
+    if context.registry is not None:
+        context.registry.counter(outcome).inc()
+    if context.tracer.enabled:
+        context.tracer.emit(outcome, 0.0, key=key, fn=fn_path)
+
+
+def _fn_path(fn: Callable) -> str:
+    return f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', '?')}"
+
+
+def _run_captured(payload: tuple[Callable[[Any], Any], Any, bool, Any, Any]):
     """Worker entry: run one task under a local observability context."""
-    fn, task, capture_trace, health = payload
+    fn, task, capture_trace, health, stored = payload
     tracer = CollectingTracer() if capture_trace else NULL_TRACER
     registry = MetricsRegistry()
     timer = PhaseTimer()
@@ -79,8 +118,17 @@ def _run_captured(payload: tuple[Callable[[Any], Any], Any, bool, Any]):
     # the same strict-mode behavior) as a serial one.
     with obs_context.observe(
         tracer=tracer, registry=registry, timer=timer, health=health
-    ):
+    ) as context:
+        started = perf_counter()
         result = fn(task)
+        if stored is not None:
+            # Workers write their own records the moment the task
+            # completes: an interrupted parent loses nothing already
+            # simulated, and the atomic rename makes concurrent writers
+            # of the same key harmless.
+            store, key, identity = stored
+            store.put(key, identity, result, perf_counter() - started)
+            _emit_cache_event(context, "cache_write", key, _fn_path(fn))
     report = timer.report()
     telemetry = TaskTelemetry(
         records=tracer.records if capture_trace else [],
@@ -152,10 +200,31 @@ def merge_telemetry(
                 histogram.bucket_counts[position] += count
 
 
+def _fingerprint_tasks(
+    fn: Callable, task_list: Sequence[Any], store
+) -> list[tuple[str, dict] | None]:
+    """``(key, identity)`` per task, or ``None`` when uncacheable."""
+    keyed: list[tuple[str, dict] | None] = []
+    for task in task_list:
+        if store is None:
+            keyed.append(None)
+            continue
+        try:
+            identity = task_identity(fn, task)
+            keyed.append((fingerprint(identity), identity))
+        except FingerprintError as error:
+            logger.debug(
+                "store: task of %s not cacheable (%s)", _fn_path(fn), error
+            )
+            keyed.append(None)
+    return keyed
+
+
 def run_tasks(
     fn: Callable[[Any], Any],
     tasks: Iterable[Any],
     jobs: int | None = None,
+    store=None,
 ) -> list[Any]:
     """Run ``fn`` over ``tasks``, optionally across worker processes.
 
@@ -167,20 +236,70 @@ def run_tasks(
     ambient observability context; with ``jobs > 1`` (or ``jobs=0`` for
     one worker per CPU) tasks run in a :class:`ProcessPoolExecutor` and
     captured telemetry is merged back afterwards.
+
+    ``store`` (a :class:`~repro.store.disk.ResultStore`; default: the
+    ambient one from :func:`repro.store.use_store`, if any) memoizes
+    per-task results by content address: hits skip execution entirely
+    and return the stored result, misses execute and write back.  The
+    cache is transparent — for any hit/miss mix the returned list is
+    equal to an uncached run's, and ``jobs`` still never changes any
+    result.
     """
     task_list: Sequence[Any] = list(tasks)
-    jobs = resolve_jobs(jobs, len(task_list))
-    if jobs <= 1:
-        return [fn(task) for task in task_list]
+    if store is None:
+        store = store_context.current_store()
     context = obs_context.current()
+    keyed = _fingerprint_tasks(fn, task_list, store)
+    results: list[Any] = [MISS] * len(task_list)
+    if store is not None and not store.refresh:
+        for index, entry in enumerate(keyed):
+            if entry is None:
+                continue
+            hit = store.get(entry[0])
+            if hit is not MISS:
+                results[index] = hit
+                store.hits += 1
+                _emit_cache_event(context, "cache_hit", entry[0], _fn_path(fn))
+    pending = [i for i in range(len(task_list)) if results[i] is MISS]
+    if store is not None:
+        for index in pending:
+            if keyed[index] is not None:
+                store.misses += 1
+                _emit_cache_event(
+                    context, "cache_miss", keyed[index][0], _fn_path(fn)
+                )
+    jobs = resolve_jobs(jobs, len(pending))
+    if jobs <= 1:
+        for index in pending:
+            started = perf_counter()
+            result = fn(task_list[index])
+            results[index] = result
+            entry = keyed[index]
+            if store is not None and entry is not None:
+                store.put(
+                    entry[0], entry[1], result, perf_counter() - started
+                )
+                store.writes += 1
+                _emit_cache_event(
+                    context, "cache_write", entry[0], _fn_path(fn)
+                )
+        return results
     capture_trace = context.tracer.enabled
     payloads = [
-        (fn, task, capture_trace, context.health) for task in task_list
+        (
+            fn,
+            task_list[index],
+            capture_trace,
+            context.health,
+            (store, *keyed[index]) if keyed[index] is not None else None,
+        )
+        for index in pending
     ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         outcomes = list(pool.map(_run_captured, payloads))
-    results = []
-    for result, telemetry in outcomes:
+    for index, (result, telemetry) in zip(pending, outcomes):
         merge_telemetry(telemetry, context)
-        results.append(result)
+        results[index] = result
+        if store is not None and keyed[index] is not None:
+            store.writes += 1
     return results

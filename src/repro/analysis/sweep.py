@@ -19,7 +19,7 @@ import numpy as np
 from ..clustering import ClusterMaintenanceProtocol, LowestIdClustering
 from ..clustering.base import ClusteringAlgorithm
 from ..core import overhead as overhead_model
-from ..core.params import NetworkParameters
+from ..core.params import MessageSizes, NetworkParameters
 from ..mobility import EpochRandomWaypointModel
 from ..obs.health import attach_run_health
 from ..routing import IntraClusterRoutingProtocol
@@ -43,6 +43,41 @@ class SweepPoint:
     predicted: dict[str, float]
     seeds: int
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view (round-trips via :meth:`from_dict`)."""
+        return {
+            "parameter_value": self.parameter_value,
+            "params": {
+                "n_nodes": self.params.n_nodes,
+                "density": self.params.density,
+                "tx_range": self.params.tx_range,
+                "velocity": self.params.velocity,
+                "messages": {
+                    "p_hello": self.params.messages.p_hello,
+                    "p_cluster": self.params.messages.p_cluster,
+                    "p_route": self.params.messages.p_route,
+                },
+            },
+            "measured_head_ratio": self.measured_head_ratio,
+            "measured": dict(self.measured),
+            "predicted": dict(self.predicted),
+            "seeds": self.seeds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepPoint":
+        """Rebuild a point from its :meth:`to_dict` form."""
+        params_data = dict(data["params"])
+        messages = MessageSizes(**params_data.pop("messages"))
+        return cls(
+            parameter_value=data["parameter_value"],
+            params=NetworkParameters(messages=messages, **params_data),
+            measured_head_ratio=data["measured_head_ratio"],
+            measured=dict(data["measured"]),
+            predicted=dict(data["predicted"]),
+            seeds=data["seeds"],
+        )
+
 
 @dataclass
 class SweepResult:
@@ -62,6 +97,21 @@ class SweepResult:
     def predicted_series(self, key: str) -> list[float]:
         """Analysis series for the same keys."""
         return [p.predicted[key] for p in self.points]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view — the unit stored in sweep manifests."""
+        return {
+            "parameter": self.parameter,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Rebuild a result from its :meth:`to_dict` form."""
+        return cls(
+            parameter=data["parameter"],
+            points=[SweepPoint.from_dict(p) for p in data["points"]],
+        )
 
 
 def _run_once(
@@ -130,12 +180,16 @@ def measure_point(
     algorithm: ClusteringAlgorithm | None = None,
     convention: str = "consistent",
     jobs: int | None = None,
+    store=None,
 ) -> SweepPoint:
     """Measure one parameter point (averaged over ``seeds`` runs).
 
     ``jobs`` fans the per-seed runs out to worker processes (see
     :func:`repro.analysis.parallel.run_tasks`); results are seed-order
     deterministic, so any ``jobs`` value yields the identical point.
+    ``store`` (default: the ambient :func:`repro.store.use_store`)
+    memoizes each per-seed run by content address, so repeating a point
+    — or resuming an interrupted sweep — skips completed simulations.
     """
     if seeds < 1:
         raise ValueError(f"seeds must be positive, got {seeds}")
@@ -154,6 +208,7 @@ def measure_point(
             for seed in range(seeds)
         ],
         jobs=jobs,
+        store=store,
     )
     measured = {
         key: summarize([freqs[key] for freqs, _ in runs]).mean
@@ -179,6 +234,34 @@ def measure_point(
     )
 
 
+def _sweep_identity(
+    parameter: str, base: NetworkParameters, values, point_kwargs: dict
+) -> dict:
+    """Canonical identity of a whole sweep, for the run manifest.
+
+    Execution-only knobs (``jobs``, ``store``) are excluded: they never
+    change results, so they must not change the manifest address.
+    """
+    from .. import __version__
+    from ..sim import engine
+    from ..store import canonicalize
+
+    options = {
+        key: value
+        for key, value in point_kwargs.items()
+        if key not in ("jobs", "store")
+    }
+    return {
+        "kind": "sweep",
+        "parameter": parameter,
+        "base": canonicalize(base),
+        "values": [float(v) for v in values],
+        "options": canonicalize(options),
+        "engine_schema": engine.ENGINE_SCHEMA_VERSION,
+        "version": __version__,
+    }
+
+
 def run_sweep(
     parameter: str,
     base: NetworkParameters,
@@ -191,10 +274,21 @@ def run_sweep(
     ``N`` and the transmission range fixed and varies the area
     (``rho = N / a^2``), which is how the paper's Figure 3 varies
     density.  A ``jobs`` keyword is forwarded to :func:`measure_point`
-    to parallelize each point's per-seed runs.
+    to parallelize each point's per-seed runs; a ``store`` keyword (or
+    an ambient :func:`repro.store.use_store`) makes the sweep
+    incremental — per-seed tasks are memoized as they complete, so an
+    interrupted sweep resumes and a repeated one is pure cache hits —
+    and records a sweep-level run manifest (the full
+    :meth:`SweepResult.to_dict` plus cache accounting) on completion.
     """
     from ..obs.log import progress
+    from ..store import context as store_context
 
+    store = point_kwargs.get("store")
+    if store is None:
+        store = store_context.current_store()
+    hits_before = store.hits if store is not None else 0
+    misses_before = store.misses if store is not None else 0
     result = SweepResult(parameter=parameter)
     values = list(values)
     for index, value in enumerate(values):
@@ -220,4 +314,23 @@ def run_sweep(
         result.points.append(
             measure_point(params, float(value), **point_kwargs)
         )
+    if store is not None:
+        from ..store import fingerprint
+
+        identity = _sweep_identity(parameter, base, values, point_kwargs)
+        key = fingerprint(identity)
+        store.put_manifest(
+            key,
+            identity,
+            {
+                "parameter": parameter,
+                "points": len(result.points),
+                "tasks": {
+                    "hits": store.hits - hits_before,
+                    "misses": store.misses - misses_before,
+                },
+                "result": result.to_dict(),
+            },
+        )
+        logger.info("sweep manifest %s written to %s", key[:12], store.root)
     return result

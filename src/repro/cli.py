@@ -9,12 +9,25 @@ Subcommands::
     repro-manet trace-summary t.jsonl    # aggregate a telemetry trace
     repro-manet report t.jsonl           # Markdown run-health report
     repro-manet bench                    # engine perf -> BENCH_engine.json
+    repro-manet store stats              # inspect the result store
     repro-manet model --n 400 --rf 0.15 --vf 0.05
                                          # evaluate the closed-form model
 
 ``run`` and ``sweep`` accept ``--jobs J`` to fan per-seed simulation
 runs out to ``J`` worker processes; results are bitwise-identical to a
 serial run for any value.
+
+The same two commands accept ``--store [PATH]`` to memoize per-seed
+simulation tasks in a content-addressed on-disk store (see README,
+"Result store & incremental sweeps"): repeated runs are cache hits,
+interrupted sweeps resume from completed tasks, and results are
+byte-identical either way.  The store root defaults to
+``$REPRO_MANET_STORE`` or ``~/.cache/repro-manet``; setting the
+environment variable enables the store without the flag, and
+``--no-store`` disables it regardless.  ``--store-refresh`` recomputes
+every task and overwrites its record.  The ``store`` command group
+(``stats`` / ``ls`` / ``gc`` / ``verify``) inspects and maintains the
+store.
 
 ``run`` and ``simulate`` accept telemetry flags (see README,
 "Observability"): ``--trace FILE`` streams structured JSONL events,
@@ -30,8 +43,8 @@ history and exits 1 when a point regresses more than the threshold
 against the best prior entry.
 
 Exit codes: 0 success/healthy, 1 unhealthy (report problems, trace
-non-reconciliation, bench regression), 2 usage or input error,
-3 strict-mode invariant audit failure.
+non-reconciliation, bench regression, corrupt store records), 2 usage
+or input error, 3 strict-mode invariant audit failure.
 
 The experiment tables printed here are the series behind the paper's
 figures; EXPERIMENTS.md archives the full-scale output.
@@ -72,6 +85,54 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
             "default: serial). Results are identical for any value."
         ),
     )
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    """Result-store flags shared by ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "memoize per-seed simulation tasks in a content-addressed "
+            "store (bare --store uses $REPRO_MANET_STORE or "
+            "~/.cache/repro-manet)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the result store even when $REPRO_MANET_STORE is set",
+    )
+    parser.add_argument(
+        "--store-refresh",
+        action="store_true",
+        help=(
+            "re-simulate every task and overwrite its store record "
+            "(implies --store)"
+        ),
+    )
+
+
+def _parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix."""
+    text = text.strip()
+    multiplier = 1
+    suffixes = {"K": 1024, "M": 1024**2, "G": 1024**3}
+    if text and text[-1].upper() in suffixes:
+        multiplier = suffixes[text[-1].upper()]
+        text = text[:-1]
+    try:
+        value = int(float(text) * multiplier)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a size (use bytes or K/M/G suffix): {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"size must be >= 0, got {value}")
+    return value
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -167,12 +228,19 @@ def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-manet",
         description=(
             "Clustering/routing overhead analysis for clustered MANETs "
             "(reproduction of Xue, Er & Seah, ICDCS 2006)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-manet {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -190,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write each experiment's table as DIR/<id>.csv",
     )
     _add_jobs_flag(run)
+    _add_store_flags(run)
     _add_telemetry_flags(run)
 
     simulate = sub.add_parser(
@@ -252,7 +321,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=10.0, help="measured time per run"
     )
     _add_jobs_flag(sweep)
+    _add_store_flags(sweep)
     _add_logging_flags(sweep)
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain the result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_parsers = {
+        "stats": store_sub.add_parser(
+            "stats", help="record/manifest counts, sizes and saved time"
+        ),
+        "ls": store_sub.add_parser("ls", help="list stored task records"),
+        "gc": store_sub.add_parser(
+            "gc", help="evict records by age and total size"
+        ),
+        "verify": store_sub.add_parser(
+            "verify", help="re-hash every record and report corruption"
+        ),
+    }
+    for store_parser in store_parsers.values():
+        store_parser.add_argument(
+            "--store",
+            metavar="PATH",
+            default=None,
+            help=(
+                "store root (default: $REPRO_MANET_STORE or "
+                "~/.cache/repro-manet)"
+            ),
+        )
+        _add_logging_flags(store_parser)
+    store_parsers["ls"].add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="show only the N most recent records",
+    )
+    store_parsers["gc"].add_argument(
+        "--max-size",
+        type=_parse_size,
+        default=None,
+        metavar="SIZE",
+        help="evict oldest records until the store fits (bytes or K/M/G)",
+    )
+    store_parsers["gc"].add_argument(
+        "--max-age",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="evict records older than DAYS",
+    )
+    store_parsers["gc"].add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    store_parsers["verify"].add_argument(
+        "--quarantine",
+        action="store_true",
+        help="also move corrupt records into <root>/quarantine/",
+    )
 
     bench = sub.add_parser(
         "bench", help="benchmark the engine; writes BENCH_engine.json"
@@ -349,6 +478,33 @@ def _run_model(args) -> int:
     return 0
 
 
+def _resolve_store(args):
+    """The :class:`~repro.store.disk.ResultStore` the flags request.
+
+    Enabled by ``--store`` / ``--store-refresh`` or by the
+    ``REPRO_MANET_STORE`` environment variable; ``--no-store`` always
+    wins.  Returns ``None`` when caching is off.
+    """
+    import os
+
+    from .store import STORE_ENV_VAR, ResultStore, resolve_store_root
+
+    if args.no_store:
+        if args.store is not None or args.store_refresh:
+            raise _CliError("--no-store conflicts with --store/--store-refresh")
+        return None
+    enabled = (
+        args.store is not None
+        or args.store_refresh
+        or bool(os.environ.get(STORE_ENV_VAR))
+    )
+    if not enabled:
+        return None
+    return ResultStore(
+        resolve_store_root(args.store or None), refresh=args.store_refresh
+    )
+
+
 def _run_sweep(args) -> int:
     from .analysis import run_sweep
     from .experiments.figures123 import sweep_table
@@ -361,6 +517,7 @@ def _run_sweep(args) -> int:
     if not values:
         print("no sweep values given")
         return 2
+    store = _resolve_store(args)
     base = NetworkParameters.from_fractions(
         n_nodes=args.n, range_fraction=args.rf, velocity_fraction=args.vf
     )
@@ -372,6 +529,7 @@ def _run_sweep(args) -> int:
         duration=args.duration,
         warmup=args.duration * 0.15,
         jobs=args.jobs,
+        store=store,
     )
     table = sweep_table(
         result,
@@ -379,6 +537,9 @@ def _run_sweep(args) -> int:
         args.parameter,
     )
     print(table.render())
+    if store is not None:
+        print()
+        print(store.describe())
     return 0
 
 
@@ -558,6 +719,11 @@ def _run_simulate(args) -> int:
             report = run_scenario(load_scenario(args.scenario))
     except AuditError as error:
         return _audit_failure(error)
+    except (OSError, _json.JSONDecodeError, ValueError, TypeError) as error:
+        # Unreadable file, malformed JSON, or a scenario that fails
+        # validation (e.g. unknown keys) — input errors, exit code 2.
+        print(f"bad scenario: {error}", file=sys.stderr)
+        return 2
     finally:
         telemetry.finish(args)
     if args.json:
@@ -569,6 +735,7 @@ def _run_simulate(args) -> int:
 
 def _run_run(args) -> int:
     from .obs import AuditError
+    from .store import use_store
 
     ids = experiment_ids() if args.experiment == "all" else [args.experiment]
     csv_dir = None
@@ -577,10 +744,11 @@ def _run_run(args) -> int:
 
         csv_dir = Path(args.csv)
         csv_dir.mkdir(parents=True, exist_ok=True)
+    store = _resolve_store(args)
     scope, telemetry = _telemetry_scope(args)
     telemetry.start()
     try:
-        with scope:
+        with scope, use_store(store):
             for experiment_id in ids:
                 table = run_experiment(
                     experiment_id, quick=args.quick, jobs=args.jobs
@@ -593,7 +761,71 @@ def _run_run(args) -> int:
         return _audit_failure(error)
     finally:
         telemetry.finish(args)
+    if store is not None:
+        print(store.describe())
     return 0
+
+
+def _run_store(args) -> int:
+    from .store import ResultStore, resolve_store_root
+
+    store = ResultStore(resolve_store_root(args.store or None))
+    if args.store_command == "stats":
+        stats = store.stats()
+        print(f"store root       {stats['root']}")
+        print(
+            f"task records     {stats['records']} "
+            f"({stats['record_bytes'] / 1024:.1f} KiB)"
+        )
+        print(
+            f"sweep manifests  {stats['manifests']} "
+            f"({stats['manifest_bytes'] / 1024:.1f} KiB)"
+        )
+        print(f"quarantined      {stats['quarantined']}")
+        print(
+            f"stored sim time  {stats['stored_elapsed']:.2f}s "
+            f"(wall-clock a full re-run would cost)"
+        )
+        return 0
+    if args.store_command == "ls":
+        rows = store.ls(limit=args.limit)
+        if not rows:
+            print(f"no records under {store.root}")
+            return 0
+        for row in rows:
+            elapsed = row.get("elapsed")
+            print(
+                f"{row['key'][:16]}  {row['bytes']:>7d} B  "
+                f"{elapsed if elapsed is None else format(elapsed, '8.3f')}s  "
+                f"{row['fn']}"
+            )
+        return 0
+    if args.store_command == "gc":
+        removed, freed = store.gc(
+            max_size=args.max_size,
+            max_age_days=args.max_age,
+            dry_run=args.dry_run,
+        )
+        verb = "would evict" if args.dry_run else "evicted"
+        print(f"{verb} {removed} file(s), {freed / 1024:.1f} KiB")
+        return 0
+    if args.store_command == "verify":
+        problems = store.verify(quarantine=args.quarantine)
+        checked = sum(1 for _ in store.iter_record_paths()) + (
+            len(problems) if args.quarantine else 0
+        )
+        if not problems:
+            print(f"store OK: {checked} record(s) verified under {store.root}")
+            return 0
+        for path, problem in problems:
+            print(f"CORRUPT {path}: {problem}", file=sys.stderr)
+        print(
+            f"store verify: {len(problems)} corrupt record(s) "
+            + ("quarantined" if args.quarantine else "found"),
+            file=sys.stderr,
+        )
+        return 1
+    return 2  # pragma: no cover - argparse enforces the choices
 
 
 def _run_report(args) -> int:
@@ -646,6 +878,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_trace_summary(args)
         if args.command == "report":
             return _run_report(args)
+        if args.command == "store":
+            return _run_store(args)
         if args.command == "simulate":
             return _run_simulate(args)
         if args.command == "run":

@@ -130,8 +130,21 @@ def measure_cv_rates(
     return changes / node_time
 
 
-def run_claim2(quick: bool = False) -> Table:
-    """Claim 2: CV and BCV link change rates vs simulation."""
+def _cv_rate_task(task) -> float:
+    """Picklable per-measurement worker for :func:`run_claim2`."""
+    n_nodes, tx_range, velocity, steps, window, margin = task
+    return measure_cv_rates(
+        n_nodes, tx_range, velocity, steps=steps, window=window, margin=margin
+    )
+
+
+def run_claim2(quick: bool = False, jobs: int | None = None) -> Table:
+    """Claim 2: CV and BCV link change rates vs simulation.
+
+    The four (range, model) measurements are independent, so they run
+    through :func:`repro.analysis.parallel.run_tasks` — parallel when
+    ``jobs`` is set and memoized under an ambient result store.
+    """
     scale = scale_for(quick)
     n_nodes = scale.n_nodes
     velocity = 0.02
@@ -140,11 +153,18 @@ def run_claim2(quick: bool = False) -> Table:
         title="Claim 2 — link change rates (CV on torus; BCV in window)",
         headers=["r", "model", "rate analysis", "rate measured", "rel.err"],
     )
-    for tx_range in (0.05, 0.1):
+    ranges = (0.05, 0.1)
+    tasks = []
+    for tx_range in ranges:
+        tasks.append((n_nodes, tx_range, velocity, steps, False, 1.0))
+        # BCV: window of a 2x2 torus at the same density.
+        margin = 2.0
+        total = int(n_nodes * margin * margin)
+        tasks.append((total, tx_range, velocity, steps, True, margin))
+    measured = run_tasks(_cv_rate_task, tasks, jobs=jobs)
+    for index, tx_range in enumerate(ranges):
         analysis_cv = cv_link_change_rate(float(n_nodes), tx_range, velocity)
-        measured_cv = measure_cv_rates(
-            n_nodes, tx_range, velocity, steps=steps, window=False
-        )
+        measured_cv = measured[2 * index]
         table.add_row(
             tx_range,
             "CV",
@@ -152,14 +172,9 @@ def run_claim2(quick: bool = False) -> Table:
             measured_cv,
             abs(measured_cv - analysis_cv) / analysis_cv,
         )
-        # BCV: window of a 2x2 torus at the same density.
-        margin = 2.0
-        total = int(n_nodes * margin * margin)
         degree = float(expected_degree(n_nodes, float(n_nodes), tx_range))
         analysis_bcv = bcv_link_change_rate(degree, tx_range, velocity)
-        measured_bcv = measure_cv_rates(
-            total, tx_range, velocity, steps=steps, window=True, margin=margin
-        )
+        measured_bcv = measured[2 * index + 1]
         table.add_row(
             tx_range,
             "BCV",

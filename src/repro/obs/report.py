@@ -14,7 +14,10 @@ Markdown document with four diagnostic sections per trace:
   via :meth:`~repro.obs.metrics.Histogram.summary`) and the final
   measured-vs-bound verdicts from the ``residual`` stream;
 * **resources** — RSS/CPU aggregates and per-phase wall-clock totals
-  from the ``resource_sample`` stream.
+  from the ``resource_sample`` stream;
+* **result store** — cache hit/miss/write counts and the task hit rate
+  from the ``cache_hit`` / ``cache_miss`` / ``cache_write`` stream of
+  a ``--store`` run (see :mod:`repro.store`).
 
 :meth:`HealthReport.healthy` folds it all into one boolean — the exit
 code of the CLI command — and :meth:`HealthReport.problems` lists what
@@ -93,6 +96,16 @@ class TraceHealth:
     #: ``(sim, category) -> `` the ``kind="final"`` verdict record.
     residual_finals: dict[tuple[int, str], dict] = field(default_factory=dict)
     resources: list[dict] = field(default_factory=list)
+    #: ``cache_hit`` / ``cache_miss`` / ``cache_write`` event counts.
+    cache: dict[str, int] = field(default_factory=dict)
+
+    def cache_hit_rate(self) -> float | None:
+        """Task cache-hit rate, or ``None`` without cache events."""
+        hits = self.cache.get("cache_hit", 0)
+        misses = self.cache.get("cache_miss", 0)
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
 
     # ------------------------------------------------------------------
     def problems(self) -> list[str]:
@@ -135,6 +148,8 @@ def analyze_trace(path) -> TraceHealth:
                 health.residual_windows.setdefault(key, []).append(record)
         elif event == "resource_sample":
             health.resources.append(record)
+        elif event in ("cache_hit", "cache_miss", "cache_write"):
+            health.cache[event] = health.cache.get(event, 0) + 1
     for timeline in health.audits.values():
         timeline.close()
     return health
@@ -200,6 +215,7 @@ class HealthReport:
         lines.extend(self._render_audits(trace))
         lines.extend(self._render_residuals(trace))
         lines.extend(self._render_resources(trace))
+        lines.extend(self._render_cache(trace))
         return lines
 
     def _render_totals(self, summary: TraceSummary) -> list[str]:
@@ -389,6 +405,22 @@ class HealthReport:
                     ],
                 )
             )
+        lines.append("")
+        return lines
+
+    def _render_cache(self, trace: TraceHealth) -> list[str]:
+        if not trace.cache:
+            return []
+        hits = trace.cache.get("cache_hit", 0)
+        misses = trace.cache.get("cache_miss", 0)
+        writes = trace.cache.get("cache_write", 0)
+        lines = ["### Result store", ""]
+        rate = trace.cache_hit_rate()
+        rate_text = f"{rate:.1%}" if rate is not None else "n/a"
+        lines.append(
+            f"- tasks: {hits} hit(s), {misses} miss(es) "
+            f"({rate_text} hit rate), {writes} record(s) written"
+        )
         lines.append("")
         return lines
 

@@ -228,7 +228,7 @@ def summarize_trace(path) -> TraceSummary:
         summary.records += 1
         event = record.get("event", "?")
         summary.event_counts[event] = summary.event_counts.get(event, 0) + 1
-        if event == "resource_sample":
+        if event == "resource_sample" or event.startswith("cache_"):
             # Wall-clock envelope and no owning run; counted above only.
             continue
         time = record.get("t")

@@ -43,8 +43,13 @@ Event vocabulary (``TRACE_EVENTS``):
     One background resource sample: current RSS, CPU utilisation and
     engine phase-timer deltas (see :mod:`repro.obs.resources`).  The
     envelope ``t`` is *wall-clock seconds since sampling started*, not
-    simulated time — it is the only event emitted off the engine's
-    clock.
+    simulated time — like the cache events below, it is emitted off
+    the engine's clock.
+``cache_hit`` / ``cache_miss`` / ``cache_write``
+    One result-store outcome for a fingerprinted task (see
+    :mod:`repro.store`): the task's content address (``key``) and
+    worker function (``fn``).  Emitted outside any simulation run with
+    ``t=0`` and no ``sim`` field; readers treat them as runless.
 """
 
 from __future__ import annotations
@@ -86,6 +91,9 @@ TRACE_EVENTS = frozenset(
         "invariant_audit",
         "residual",
         "resource_sample",
+        "cache_hit",
+        "cache_miss",
+        "cache_write",
     }
 )
 

@@ -149,11 +149,19 @@ class ScenarioConfig:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioConfig":
-        """Build (and validate) a config from parsed JSON."""
+        """Build (and validate) a config from parsed JSON.
+
+        Unknown top-level keys are rejected with the full list of
+        valid keys, so a typo like ``"mobilty"`` fails loudly instead
+        of silently running with defaults.
+        """
         known = {f for f in cls.__dataclass_fields__}
         unknown = set(data) - known
         if unknown:
-            raise ValueError(f"unknown scenario keys: {sorted(unknown)}")
+            raise ValueError(
+                f"unknown scenario keys: {sorted(unknown)}; "
+                f"valid keys are: {sorted(known)}"
+            )
         return cls(**data)
 
     def network_parameters(self) -> NetworkParameters:

@@ -1,6 +1,11 @@
 """Time-stepped MANET simulator (the GloMoSim substitute)."""
 
-from .engine import Protocol, Simulation, recommended_step
+from .engine import (
+    ENGINE_SCHEMA_VERSION,
+    Protocol,
+    Simulation,
+    recommended_step,
+)
 from .beacon import HelloProtocol
 from .stats import CategoryTotals, MessageStats, RateSeries
 from .traffic import (
@@ -15,6 +20,7 @@ from .traffic import (
 )
 
 __all__ = [
+    "ENGINE_SCHEMA_VERSION",
     "Protocol",
     "Simulation",
     "recommended_step",

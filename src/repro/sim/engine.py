@@ -50,9 +50,24 @@ from ..spatial import (
 )
 from .stats import MessageStats
 
-__all__ = ["Protocol", "Simulation", "recommended_step"]
+__all__ = [
+    "ENGINE_SCHEMA_VERSION",
+    "Protocol",
+    "Simulation",
+    "recommended_step",
+]
 
 logger = logging.getLogger(__name__)
+
+#: Version of the engine's *result semantics*.  Bump whenever a change
+#: to the kernel (or to any protocol it drives) can alter the numbers a
+#: simulation run produces — stepping rules, event ordering, RNG use,
+#: message accounting.  The value is folded into every task fingerprint
+#: (:mod:`repro.store.fingerprint`), so bumping it invalidates all
+#: previously stored results at once; purely structural refactors that
+#: provably preserve outputs must NOT bump it, or the cache loses its
+#: point.
+ENGINE_SCHEMA_VERSION = 1
 
 
 def recommended_step(tx_range: float, velocity: float, fraction: float = 0.05) -> float:

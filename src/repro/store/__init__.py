@@ -1,0 +1,60 @@
+"""Content-addressed experiment store: incremental & resumable sweeps.
+
+Every sweep/experiment task in this package is a pure function of its
+task tuple (parameters + seed), so its result can be memoized on disk
+and reused across processes and sessions.  This package provides the
+three layers that make that safe:
+
+* :mod:`repro.store.fingerprint` — canonical, dataclass-aware task
+  identities hashed to stable SHA-256 content addresses (inputs +
+  engine schema version + package version, so stale results
+  self-invalidate);
+* :mod:`repro.store.codec` — a reversible JSON codec so a cache hit
+  reproduces the fresh result exactly (tuples, dataclasses and NumPy
+  types included);
+* :mod:`repro.store.disk` — the on-disk store itself: atomic writes,
+  quarantine-not-crash corruption handling, gc/verify maintenance, and
+  sweep-level manifests.
+
+:func:`use_store` makes a store ambient for a whole workload; the task
+runner (:func:`repro.analysis.parallel.run_tasks`) consults it before
+simulating and writes results back on completion.  See the CLI's
+``--store`` family and the ``repro-manet store`` command group.
+"""
+
+from .codec import CodecError, decode, encode
+from .context import current_store, use_store
+from .disk import (
+    MISS,
+    STORE_ENV_VAR,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    default_store_root,
+    resolve_store_root,
+)
+from .fingerprint import (
+    FingerprintError,
+    canonical_json,
+    canonicalize,
+    fingerprint,
+    task_identity,
+)
+
+__all__ = [
+    "MISS",
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA_VERSION",
+    "CodecError",
+    "FingerprintError",
+    "ResultStore",
+    "canonical_json",
+    "canonicalize",
+    "current_store",
+    "decode",
+    "default_store_root",
+    "encode",
+    "fingerprint",
+    "resolve_store_root",
+    "task_identity",
+    "use_store",
+]

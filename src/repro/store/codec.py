@@ -1,0 +1,122 @@
+"""Reversible JSON codec for task results.
+
+:func:`encode` turns the value a ``run_tasks`` worker returned into a
+JSON-able document; :func:`decode` reconstructs an *equal* Python value
+from it, so a cache hit is indistinguishable from a fresh run
+(``decode(encode(x)) == x``, preserving tuple-ness, dataclass types and
+NumPy scalar types — the properties downstream aggregation code relies
+on).  Unlike :mod:`repro.store.fingerprint`, which only ever hashes,
+this codec must round-trip exactly.
+
+Container markers are single-key dicts (``__t__`` tuple, ``__dc__``
+dataclass, ``__np__`` NumPy scalar, ``__nd__`` NumPy array, ``__d__``
+dict with non-string or marker-colliding keys); plain dicts with string
+keys pass through untagged.  Dataclasses are reconstructed by importing
+their class and calling the constructor with the stored init fields, so
+only dataclasses whose constructor accepts all their fields — every
+result type in this package — are supported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+from typing import Any
+
+__all__ = ["CodecError", "encode", "decode"]
+
+_MARKERS = frozenset({"__t__", "__dc__", "__np__", "__nd__", "__d__"})
+
+
+class CodecError(ValueError):
+    """A value cannot be encoded, or a document cannot be decoded."""
+
+
+def encode(value: Any) -> Any:
+    """Encode a task result into a JSON-able document."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, tuple):
+        return {"__t__": [encode(item) for item in value]}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        plain = all(isinstance(key, str) for key in value)
+        if plain and not (_MARKERS & set(value)):
+            return {key: encode(item) for key, item in value.items()}
+        return {"__d__": [[encode(k), encode(v)] for k, v in value.items()]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if f.init
+        }
+        return {
+            "__dc__": f"{type(value).__module__}:{type(value).__qualname__}",
+            "fields": fields,
+        }
+    import numpy as np
+
+    if isinstance(value, np.generic):
+        return {"__np__": str(value.dtype), "value": value.item()}
+    if isinstance(value, np.ndarray):
+        return {
+            "__nd__": str(value.dtype),
+            "shape": list(value.shape),
+            "data": value.tolist(),
+        }
+    raise CodecError(
+        f"cannot encode {type(value).__name__!r} result value {value!r}"
+    )
+
+
+def _import_class(path: str) -> type:
+    module_name, _, qualname = path.partition(":")
+    try:
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as error:
+        raise CodecError(f"cannot import stored class {path!r}: {error}")
+    if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+        raise CodecError(f"stored class {path!r} is not a dataclass")
+    return obj
+
+
+def decode(doc: Any) -> Any:
+    """Reconstruct the Python value an :func:`encode` document describes."""
+    if doc is None or isinstance(doc, (bool, int, float, str)):
+        return doc
+    if isinstance(doc, list):
+        return [decode(item) for item in doc]
+    if isinstance(doc, dict):
+        if "__t__" in doc:
+            return tuple(decode(item) for item in doc["__t__"])
+        if "__d__" in doc:
+            return {decode(k): decode(v) for k, v in doc["__d__"]}
+        if "__dc__" in doc:
+            cls = _import_class(doc["__dc__"])
+            fields = {
+                name: decode(value)
+                for name, value in doc["fields"].items()
+            }
+            try:
+                return cls(**fields)
+            except TypeError as error:
+                raise CodecError(
+                    f"cannot reconstruct {doc['__dc__']}: {error}"
+                )
+        if "__np__" in doc:
+            import numpy as np
+
+            return np.dtype(doc["__np__"]).type(doc["value"])
+        if "__nd__" in doc:
+            import numpy as np
+
+            return np.asarray(doc["data"], dtype=doc["__nd__"]).reshape(
+                doc["shape"]
+            )
+        return {key: decode(value) for key, value in doc.items()}
+    raise CodecError(f"cannot decode document node {doc!r}")

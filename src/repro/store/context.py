@@ -1,0 +1,42 @@
+"""Ambient result-store context.
+
+The same pattern as :mod:`repro.obs.context`: experiments assemble
+their task lists several layers below the CLI, so instead of threading
+a store handle through every experiment signature, the CLI pushes one
+ambient :class:`~repro.store.disk.ResultStore` and
+:func:`repro.analysis.parallel.run_tasks` picks it up::
+
+    from repro.store import ResultStore, use_store
+
+    with use_store(ResultStore(root)):
+        run_experiment("fig1", quick=True)   # per-seed tasks memoized
+
+Contexts nest; the default is ``None`` (no store — every task runs),
+so nothing changes for code that never touches this module.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .disk import ResultStore
+
+__all__ = ["current_store", "use_store"]
+
+_stack: list[Optional[ResultStore]] = [None]
+
+
+def current_store() -> ResultStore | None:
+    """The innermost active store (``None`` when caching is off)."""
+    return _stack[-1]
+
+
+@contextmanager
+def use_store(store: ResultStore | None):
+    """Make ``store`` ambient for the ``with`` body."""
+    _stack.append(store)
+    try:
+        yield store
+    finally:
+        _stack.pop()

@@ -188,3 +188,134 @@ class TestMain:
 
     def test_bench_bad_sizes(self, capsys):
         assert main(["bench", "--sizes", "abc"]) == 2
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-manet {repro.__version__}"
+
+
+class TestStoreFlags:
+    def test_store_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "velocity", "0.01", "--store", "/tmp/s", "--store-refresh"]
+        )
+        assert args.store == "/tmp/s"
+        assert args.store_refresh
+
+    def test_bare_store_flag_means_default_root(self):
+        args = build_parser().parse_args(["run", "fig1", "--quick", "--store"])
+        assert args.store == ""
+
+    def test_no_store_conflicts(self, capsys):
+        code = main(
+            ["sweep", "velocity", "0.01", "--no-store", "--store", "/tmp/s"]
+        )
+        assert code == 2
+        assert "--no-store conflicts" in capsys.readouterr().err
+
+    def test_env_var_enables_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANET_STORE", str(tmp_path))
+        code = main(
+            [
+                "sweep",
+                "velocity",
+                "0.01",
+                "--n",
+                "40",
+                "--seeds",
+                "1",
+                "--duration",
+                "1.0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "store:" in out
+        assert str(tmp_path) in out
+
+
+class TestStoreCommands:
+    def _populate(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "velocity",
+                "0.01",
+                "--n",
+                "40",
+                "--seeds",
+                "2",
+                "--duration",
+                "1.0",
+                "--store",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_cached_rerun_identical_and_all_hits(self, tmp_path, capsys):
+        def strip(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith("store:")
+            ]
+
+        fresh = self._populate(tmp_path, capsys)
+        assert "2 miss(es)" in fresh
+        cached = self._populate(tmp_path, capsys)
+        assert "2 hit(s), 0 miss(es) (100.0% hit rate)" in cached
+        assert strip(fresh) == strip(cached)
+
+    def test_stats_ls_verify(self, tmp_path, capsys):
+        self._populate(tmp_path, capsys)
+        assert main(["store", "stats", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "task records     2" in out
+        assert "sweep manifests  1" in out
+        assert main(["store", "ls", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) == 2
+        assert "_run_once_task" in out
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 0
+        assert "store OK: 2 record(s)" in capsys.readouterr().out
+
+    def test_verify_reports_corruption(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        self._populate(tmp_path, capsys)
+        [first, _] = list(ResultStore(root=tmp_path).iter_record_paths())
+        first.write_text("garbage")
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_gc_max_size(self, tmp_path, capsys):
+        self._populate(tmp_path, capsys)
+        assert (
+            main(["store", "gc", "--store", str(tmp_path), "--max-size", "0"])
+            == 0
+        )
+        assert "evicted 2 file(s)" in capsys.readouterr().out
+        assert main(["store", "stats", "--store", str(tmp_path)]) == 0
+        assert "task records     0" in capsys.readouterr().out
+
+
+class TestSimulateErrors:
+    def test_unknown_scenario_key_is_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "n_nodes": 20, "rnge_fraction": 0.2}')
+        assert main(["simulate", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario keys" in err
+        assert "range_fraction" in err  # the valid keys are listed
+
+    def test_missing_scenario_is_input_error(self, tmp_path, capsys):
+        assert main(["simulate", str(tmp_path / "none.json")]) == 2
+        assert "bad scenario" in capsys.readouterr().err

@@ -1,0 +1,375 @@
+"""Tests for the content-addressed result store (repro.store).
+
+The contract under test: fingerprints are stable across processes and
+sensitive to every result-bearing input (including the engine schema
+version); the codec round-trips results exactly; the on-disk store is
+atomic under concurrent writers, corruption-tolerant (quarantine, never
+crash), and integrates with ``run_tasks`` so cached and fresh runs are
+indistinguishable for any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.analysis.parallel import run_tasks
+from repro.analysis.sweep import SweepPoint, SweepResult, measure_point
+from repro.core.params import NetworkParameters
+from repro.store import (
+    MISS,
+    CodecError,
+    FingerprintError,
+    ResultStore,
+    canonicalize,
+    current_store,
+    decode,
+    default_store_root,
+    encode,
+    fingerprint,
+    resolve_store_root,
+    task_identity,
+    use_store,
+)
+
+
+def _square_task(task):
+    return task * task
+
+
+def _tuple_task(task):
+    return {"value": task, "pair": (task, task + 1)}
+
+
+def _tiny_params():
+    return NetworkParameters.from_fractions(
+        n_nodes=40, range_fraction=0.15, velocity_fraction=0.05
+    )
+
+
+@dataclass(frozen=True)
+class _Sample:
+    name: str
+    values: tuple
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        identity = task_identity(_square_task, (1, 2.5, "x"))
+        assert fingerprint(identity) == fingerprint(identity)
+
+    def test_distinct_tasks_distinct_keys(self):
+        a = fingerprint(task_identity(_square_task, 3))
+        b = fingerprint(task_identity(_square_task, 4))
+        c = fingerprint(task_identity(_tuple_task, 3))
+        assert len({a, b, c}) == 3
+
+    def test_dataclass_fields_participate(self):
+        a = canonicalize(_Sample("a", (1, 2)))
+        b = canonicalize(_Sample("b", (1, 2)))
+        assert a != b
+        assert a["__dataclass__"].endswith("_Sample")
+
+    def test_dict_key_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_numpy_values_canonicalize(self):
+        doc = canonicalize({"x": np.float64(1.5), "a": np.arange(3)})
+        assert fingerprint(doc) == fingerprint(json.loads(json.dumps(doc)))
+
+    def test_engine_schema_version_invalidates(self, monkeypatch):
+        before = fingerprint(task_identity(_square_task, 3))
+        import repro.sim.engine as engine
+
+        monkeypatch.setattr(engine, "ENGINE_SCHEMA_VERSION", 999)
+        after = fingerprint(task_identity(_square_task, 3))
+        assert before != after
+
+    def test_unpicklable_payload_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(FingerprintError):
+            canonicalize(rng)
+
+    def test_local_function_rejected(self):
+        def local(task):
+            return task
+
+        with pytest.raises(FingerprintError):
+            task_identity(local, 1)
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            3,
+            2.5,
+            "text",
+            [1, 2, 3],
+            (1, (2, "x")),
+            {"a": [1.0, (2, 3)]},
+            {1: "non-string key"},
+            {"__t__": "marker collision"},
+        ],
+    )
+    def test_round_trip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuples_stay_tuples(self):
+        decoded = decode(encode({"pair": (1, 2)}))
+        assert isinstance(decoded["pair"], tuple)
+
+    def test_dataclass_round_trip(self):
+        sample = _Sample("x", (1, 2.5))
+        decoded = decode(encode(sample))
+        assert decoded == sample
+        assert isinstance(decoded, _Sample)
+
+    def test_numpy_round_trip(self):
+        decoded = decode(encode({"s": np.float64(1.5), "a": np.arange(4)}))
+        assert decoded["s"] == 1.5
+        np.testing.assert_array_equal(decoded["a"], np.arange(4))
+
+    def test_json_safe(self):
+        encoded = encode({"pair": (1, 2), "sample": _Sample("x", (3,))})
+        assert decode(json.loads(json.dumps(encoded))) == {
+            "pair": (1, 2),
+            "sample": _Sample("x", (3,)),
+        }
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(CodecError):
+            decode({"__dc__": "not.a.real:Class", "fields": {}})
+
+
+# ----------------------------------------------------------------------
+# Disk store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_get_absent_is_miss(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        assert store.get("0" * 64) is MISS
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        identity = task_identity(_tuple_task, 3)
+        key = fingerprint(identity)
+        store.put(key, identity, _tuple_task(3), elapsed=0.5)
+        assert store.get(key) == _tuple_task(3)
+        assert store.verify() == []
+
+    def test_corrupt_record_quarantined(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        identity = task_identity(_square_task, 3)
+        key = fingerprint(identity)
+        store.put(key, identity, 9, elapsed=0.0)
+        store.record_path(key).write_text("{ not json")
+        assert store.get(key) is MISS
+        assert not store.record_path(key).exists()
+        assert store.stats()["quarantined"] == 1
+        # The store recovers: the key can be written and read again.
+        store.put(key, identity, 9, elapsed=0.0)
+        assert store.get(key) == 9
+
+    def test_wrong_schema_quarantined(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        identity = task_identity(_square_task, 3)
+        key = fingerprint(identity)
+        store.put(key, identity, 9, elapsed=0.0)
+        record = json.loads(store.record_path(key).read_text())
+        record["schema"] = 999
+        store.record_path(key).write_text(json.dumps(record))
+        assert store.get(key) is MISS
+        assert store.stats()["quarantined"] == 1
+
+    def test_verify_flags_tampered_result(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        identity = task_identity(_square_task, 3)
+        key = fingerprint(identity)
+        store.put(key, identity, 9, elapsed=0.0)
+        record = json.loads(store.record_path(key).read_text())
+        record["fingerprint"]["task"] = 4  # no longer hashes to key
+        store.record_path(key).write_text(json.dumps(record))
+        problems = store.verify()
+        assert len(problems) == 1
+        assert "re-hashes" in problems[0][1]
+
+    def test_gc_size_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        keys = []
+        for value in range(3):
+            identity = task_identity(_square_task, value)
+            key = fingerprint(identity)
+            store.put(key, identity, value * value, elapsed=0.0)
+            keys.append(key)
+            mtime = 1_000_000 + value
+            os.utime(store.record_path(key), (mtime, mtime))
+        largest = max(
+            store.record_path(key).stat().st_size for key in keys
+        )
+        removed, freed = store.gc(max_size=largest)
+        assert removed == 2
+        assert freed > 0
+        assert store.get(keys[2]) == 4  # newest survives
+        assert store.get(keys[0]) is MISS
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        identity = task_identity(_square_task, 1)
+        key = fingerprint(identity)
+        store.put(key, identity, 1, elapsed=0.0)
+        removed, _ = store.gc(max_size=0, dry_run=True)
+        assert removed == 1
+        assert store.get(key) == 1
+
+    def test_resolve_root_precedence(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_MANET_STORE", raising=False)
+        assert resolve_store_root(tmp_path) == tmp_path
+        monkeypatch.setenv("REPRO_MANET_STORE", str(tmp_path / "env"))
+        assert resolve_store_root() == tmp_path / "env"
+        assert resolve_store_root(tmp_path / "flag") == tmp_path / "flag"
+        monkeypatch.delenv("REPRO_MANET_STORE")
+        assert resolve_store_root() == default_store_root()
+
+    def test_ambient_context(self, tmp_path):
+        assert current_store() is None
+        store = ResultStore(root=tmp_path)
+        with use_store(store):
+            assert current_store() is store
+        assert current_store() is None
+
+
+def _concurrent_put(root):
+    """Worker for the concurrency test: write the same key."""
+    store = ResultStore(root=root)
+    identity = task_identity(_tuple_task, 7)
+    key = fingerprint(identity)
+    store.put(key, identity, _tuple_task(7), elapsed=0.1)
+    return key
+
+
+class TestConcurrency:
+    def test_two_processes_same_key(self, tmp_path):
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            keys = list(pool.map(_concurrent_put, [tmp_path, tmp_path]))
+        assert keys[0] == keys[1]
+        store = ResultStore(root=tmp_path)
+        assert store.get(keys[0]) == _tuple_task(7)
+        assert store.stats()["records"] == 1
+        assert store.verify() == []
+        # No leaked tmp files from either writer.
+        leftovers = [
+            p
+            for p in store.objects_dir.rglob("*")
+            if p.is_file() and p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# run_tasks integration
+# ----------------------------------------------------------------------
+class TestRunTasksIntegration:
+    def test_second_run_hits(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        fresh = run_tasks(_square_task, [2, 3, 4], store=store)
+        assert (store.hits, store.misses) == (0, 3)
+        cached = run_tasks(_square_task, [2, 3, 4], store=store)
+        assert cached == fresh == [4, 9, 16]
+        assert (store.hits, store.misses) == (3, 3)
+
+    def test_jobs_population_determinism(self, tmp_path):
+        serial = ResultStore(root=tmp_path / "serial")
+        parallel = ResultStore(root=tmp_path / "parallel")
+        tasks = [1, 2, 3, 4]
+        assert run_tasks(
+            _tuple_task, tasks, jobs=1, store=serial
+        ) == run_tasks(_tuple_task, tasks, jobs=2, store=parallel)
+        serial_keys = [p.name for p in serial.iter_record_paths()]
+        parallel_keys = [p.name for p in parallel.iter_record_paths()]
+        assert serial_keys == parallel_keys
+        assert len(serial_keys) == len(tasks)
+        # A jobs=2-populated store serves a serial run entirely from
+        # cache, byte-identical results included.
+        replay = run_tasks(_tuple_task, tasks, store=parallel)
+        assert replay == run_tasks(_tuple_task, tasks, jobs=1, store=serial)
+        assert parallel.hits == len(tasks)
+
+    def test_refresh_recomputes_and_rewrites(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        run_tasks(_square_task, [5], store=store)
+        refreshing = ResultStore(root=tmp_path, refresh=True)
+        assert run_tasks(_square_task, [5], store=refreshing) == [25]
+        assert (refreshing.hits, refreshing.misses) == (0, 1)
+        assert refreshing.writes == 1
+
+    def test_uncacheable_task_still_runs(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        rng = np.random.default_rng(0)  # not fingerprintable
+        [value] = run_tasks(lambda task: 1.0, [rng], store=store)
+        assert value == 1.0
+        assert store.stats()["records"] == 0
+
+    def test_ambient_store_used(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        with use_store(store):
+            run_tasks(_square_task, [6], jobs=2)
+        assert (store.misses, store.writes) == (1, 1)
+
+    def test_corrupt_record_re_simulated(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        run_tasks(_square_task, [8], store=store)
+        [path] = list(store.iter_record_paths())
+        path.write_text("garbage")
+        assert run_tasks(_square_task, [8], store=store) == [64]
+        assert store.stats()["quarantined"] == 1
+        assert store.get(fingerprint(task_identity(_square_task, 8))) == 64
+
+    def test_measure_point_cached_equals_fresh(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        params = _tiny_params()
+        kwargs = dict(seeds=2, duration=1.0, warmup=0.2, store=store)
+        fresh = measure_point(params, params.velocity, **kwargs)
+        cached = measure_point(params, params.velocity, **kwargs)
+        assert cached == fresh
+        assert store.hits == store.misses == 2
+
+
+# ----------------------------------------------------------------------
+# Sweep type serialization
+# ----------------------------------------------------------------------
+class TestSweepSerialization:
+    def _point(self):
+        params = _tiny_params()
+        return SweepPoint(
+            parameter_value=params.velocity,
+            params=params,
+            measured_head_ratio=0.25,
+            measured={"f_hello": 1.0, "f_cluster": 0.5, "f_route": 0.1},
+            predicted={"f_hello": 1.1, "f_cluster": 0.4, "f_route": 0.2},
+            seeds=2,
+        )
+
+    def test_point_round_trip(self):
+        point = self._point()
+        rebuilt = SweepPoint.from_dict(point.to_dict())
+        assert rebuilt == point
+        assert rebuilt.params == point.params
+
+    def test_result_round_trip_via_json(self):
+        result = SweepResult(parameter="velocity", points=[self._point()])
+        data = json.loads(json.dumps(result.to_dict()))
+        assert SweepResult.from_dict(data) == result
