@@ -325,8 +325,22 @@ def history_entry(payload: dict) -> dict:
 
     ``points`` maps ``"<mode>:N<size>"`` to steps/sec, so entries from
     differently-configured runs only gate against each other where
-    they measured the same point.
+    they measured the same point.  ``phases`` carries each point's
+    per-phase *seconds per step*, which is what lets a later regression
+    be attributed to the phase whose cost moved
+    (:func:`repro.obs.compare.diff_phases`).
     """
+    points: dict[str, float] = {}
+    phases: dict[str, dict[str, float]] = {}
+    for row in payload.get("step_benchmarks", []):
+        key = f"{row['mode']}:N{row['n_nodes']}"
+        points[key] = row["steps_per_sec"]
+        steps = row.get("steps") or 0
+        if steps and row.get("phases_s"):
+            phases[key] = {
+                phase: seconds / steps
+                for phase, seconds in row["phases_s"].items()
+            }
     return {
         "schema": 1,
         "recorded_at": datetime.now(timezone.utc).isoformat(
@@ -334,10 +348,8 @@ def history_entry(payload: dict) -> dict:
         ),
         "machine": payload.get("machine", {}),
         "config": payload.get("config", {}),
-        "points": {
-            f"{row['mode']}:N{row['n_nodes']}": row["steps_per_sec"]
-            for row in payload.get("step_benchmarks", [])
-        },
+        "points": points,
+        "phases": phases,
     }
 
 
@@ -376,15 +388,21 @@ def update_bench_history(
     regression is recorded evidence, not a write failure.  Returns
     ``(entry, regressions)``; an empty regression list means the gate
     passes (including the very first run, which has nothing to gate
-    against).
+    against).  When both the best prior entry and this run recorded
+    per-phase timings for a regressed point, the regression line is
+    followed by an attribution of the phases whose per-step cost moved
+    most.
     """
     if not 0.0 < threshold < 1.0:
         raise ValueError(
             f"threshold must lie in (0, 1), got {threshold}"
         )
+    from ..obs.compare import diff_phases
+
     path = Path(path)
     entry = history_entry(payload)
     best_prior: dict[str, float] = {}
+    best_phases: dict[str, dict[str, float]] = {}
     for prior in _read_history(path):
         for key, value in (prior.get("points") or {}).items():
             try:
@@ -393,6 +411,11 @@ def update_bench_history(
                 continue
             if value > best_prior.get(key, 0.0):
                 best_prior[key] = value
+                phases = (prior.get("phases") or {}).get(key)
+                if phases:
+                    best_phases[key] = phases
+                else:
+                    best_phases.pop(key, None)
     regressions: list[str] = []
     for key, current in sorted(entry["points"].items()):
         best = best_prior.get(key)
@@ -404,6 +427,13 @@ def update_bench_history(
                 f"{1.0 - current / best:.1%} below the best prior "
                 f"{best:.1f} steps/s (threshold {threshold:.0%})"
             )
+            prior_phases = best_phases.get(key)
+            current_phases = entry["phases"].get(key)
+            if prior_phases and current_phases:
+                regressions.extend(
+                    f"{key}:   phase {line} s/step"
+                    for line in diff_phases(prior_phases, current_phases)
+                )
     with path.open("a", encoding="utf-8") as fh:
         fh.write(json.dumps(entry, separators=(",", ":")) + "\n")
     return entry, regressions

@@ -14,8 +14,9 @@ tracer, shared metrics registry or phase timer, so each worker captures
 its own telemetry locally (an in-memory tracer, a private registry and
 timer pushed as the ambient observability context) and ships it back
 with the result.  The parent then merges: trace records are replayed
-into the ambient tracer with simulation ids remapped through the
-parent's id counter (so concurrent workers never collide), registry
+into the ambient tracer with simulation ids — and span ids, through
+the global span counter of :mod:`repro.obs.spans` — remapped through
+the parent's id counters (so concurrent workers never collide), registry
 instruments are folded in under the same remapping, and phase timings
 are added to the shared timer.  ``repro-manet trace-summary`` on a
 traced parallel run therefore reconciles exactly as a serial run does.
@@ -154,11 +155,33 @@ def _remap_sim(value, sim_map: dict) -> int:
     return sim_map[key]
 
 
+def _fresh_span_id() -> int:
+    # Same authority principle as sim ids: span ids in merged records
+    # are redrawn from the parent's global span counter so they can
+    # never collide with spans the parent's own simulations emit.
+    from ..obs.spans import next_span_id
+
+    return next_span_id()
+
+
+#: Record fields carrying span ids (see repro.obs.spans): the span's
+#: own id, its parent, and the two endpoints of a ``span_link``.
+_SPAN_FIELDS = ("span", "parent", "src_span", "dst_span")
+
+
+def _remap_span(value, span_map: dict) -> int:
+    key = int(value)
+    if key not in span_map:
+        span_map[key] = _fresh_span_id()
+    return span_map[key]
+
+
 def merge_telemetry(
     telemetry: TaskTelemetry, context: obs_context.ObsContext
 ) -> None:
     """Fold one worker's captured telemetry into the ambient context."""
     sim_map: dict[int, int] = {}
+    span_map: dict[int, int] = {}
     tracer = context.tracer
     if tracer.enabled:
         for record in telemetry.records:
@@ -167,6 +190,9 @@ def merge_telemetry(
             }
             if "sim" in fields:
                 fields["sim"] = _remap_sim(fields["sim"], sim_map)
+            for name in _SPAN_FIELDS:
+                if fields.get(name) is not None:
+                    fields[name] = _remap_span(fields[name], span_map)
             tracer.emit(record["event"], record["t"], **fields)
     if context.timer is not None:
         for phase, seconds, calls in telemetry.phases:

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..clustering import ClusterMaintenanceProtocol, LowestIdClustering
 from ..clustering.base import ClusteringAlgorithm
+from ..clustering.stability import attach_cluster_dynamics
 from ..core import overhead as overhead_model
 from ..core.params import MessageSizes, NetworkParameters
 from ..mobility import EpochRandomWaypointModel
@@ -136,6 +137,10 @@ def _run_once(
     # Run-health protocols (invariant auditor + residual monitor) when
     # the ambient context carries a RunHealthConfig; no-op otherwise.
     attach_run_health(sim, maintenance)
+    # Cluster-dynamics time series when the run is traced; no-op
+    # otherwise.  Attached before stepping so its window sums reconcile
+    # with trace event counts.
+    attach_cluster_dynamics(sim, maintenance)
 
     # Sample the head ratio across the measurement window, like the
     # paper's real-time P measurement.

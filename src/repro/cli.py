@@ -8,6 +8,8 @@ Subcommands::
     repro-manet simulate scenario.json   # run a declarative scenario
     repro-manet trace-summary t.jsonl    # aggregate a telemetry trace
     repro-manet report t.jsonl           # Markdown run-health report
+    repro-manet timeline t.jsonl         # Chrome/Perfetto trace export
+    repro-manet compare a.jsonl b.jsonl  # diff two traced runs
     repro-manet bench                    # engine perf -> BENCH_engine.json
     repro-manet store stats              # inspect the result store
     repro-manet model --n 400 --rf 0.15 --vf 0.05
@@ -40,11 +42,21 @@ attaches the P1/P2 invariant auditor and the analytic-residual monitor
 ``--sample-resources SEC`` streams RSS/CPU/phase samples into the
 trace.  ``bench --history FILE`` appends steps/sec results to a JSONL
 history and exits 1 when a point regresses more than the threshold
-against the best prior entry.
+against the best prior entry (regressions come with a per-phase
+attribution table when phase data is available).
+
+Timeline tooling (see README, "Timelines & run comparison"):
+``timeline`` exports a trace as Chrome trace-event JSON for
+chrome://tracing / Perfetto, ``--profile FILE`` on ``run``/``simulate``
+writes a collapsed-stack cProfile capture, and ``compare`` diffs two
+traces — per-category message rates, cluster-dynamics rates, residual
+verdicts and phase timings — exiting 1 when any gating delta exceeds
+``--threshold`` or a residual verdict flips.
 
 Exit codes: 0 success/healthy, 1 unhealthy (report problems, trace
-non-reconciliation, bench regression, corrupt store records), 2 usage
-or input error, 3 strict-mode invariant audit failure.
+non-reconciliation, bench regression, compare deltas beyond threshold,
+corrupt store records), 2 usage or input error, 3 strict-mode
+invariant audit failure.
 
 The experiment tables printed here are the series behind the paper's
 figures; EXPERIMENTS.md archives the full-scale output.
@@ -207,6 +219,15 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
             "seconds into the trace (requires --trace; 0 disables)"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        metavar="FILE",
+        default=None,
+        help=(
+            "capture a cProfile of the workload and write it to FILE in "
+            "collapsed-stack (flamegraph) format"
+        ),
+    )
     _add_logging_flags(parser)
 
 
@@ -283,6 +304,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the summary as JSON instead of text",
     )
     _add_logging_flags(trace_summary)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="export a JSONL trace as Chrome/Perfetto trace-event JSON",
+    )
+    timeline.add_argument("file", help="trace file written by --trace")
+    timeline.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="output path (default: <trace>.timeline.json)",
+    )
+    _add_logging_flags(timeline)
+
+    compare = sub.add_parser(
+        "compare",
+        help=(
+            "diff two traces: message rates, cluster dynamics, residual "
+            "verdicts, phase timings (exit 1 when deltas exceed threshold)"
+        ),
+    )
+    compare.add_argument("trace_a", help="baseline trace file")
+    compare.add_argument("trace_b", help="candidate trace file")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "relative delta on gating metrics tolerated before exit 1 "
+            "(default 0.10)"
+        ),
+    )
+    compare.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison as JSON instead of text",
+    )
+    _add_logging_flags(compare)
 
     report = sub.add_parser(
         "report",
@@ -579,8 +639,12 @@ def _run_bench(args) -> int:
             print(f"  N={size:>5s}  edge-engine speedup {speedup:.1f}x")
     resources = payload.get("resources") or {}
     if resources.get("samples"):
+        rss_max = resources.get("rss_kb_max")
+        rss_text = (
+            f"{rss_max / 1024:.0f} MiB" if rss_max is not None else "n/a"
+        )
         print(
-            f"  resources: peak RSS {resources['rss_kb_max'] / 1024:.0f} MiB"
+            f"  resources: peak RSS {rss_text}"
             f"  mean CPU {resources['cpu_util_mean']:.2f} cores"
             f"  ({resources['rss_source']})"
         )
@@ -627,20 +691,32 @@ def _run_trace_summary(args) -> int:
 class _Telemetry:
     """Telemetry channels opened for one CLI workload."""
 
-    def __init__(self, tracer, registry, timer, sampler):
+    def __init__(self, tracer, registry, timer, sampler, profiler=None):
         self.tracer = tracer
         self.registry = registry
         self.timer = timer
         self.sampler = sampler
+        self.profiler = profiler
 
     def start(self) -> None:
         if self.sampler is not None:
             self.sampler.start()
+        if self.profiler is not None:
+            self.profiler.enable()
 
     def finish(self, args) -> None:
         import json as _json
         from pathlib import Path
 
+        if self.profiler is not None:
+            self.profiler.disable()
+            from .obs.timeline import write_collapsed_profile
+
+            frames = write_collapsed_profile(self.profiler, args.profile)
+            print(
+                f"profile: {frames} collapsed stack(s) written to "
+                f"{args.profile}"
+            )
         # The sampler's closing sample still goes through the tracer,
         # so stop it before the trace file is closed.
         if self.sampler is not None:
@@ -695,10 +771,15 @@ def _telemetry_scope(args):
         sampler = ResourceSampler(
             interval=args.sample_resources, tracer=tracer, timer=timer
         )
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     scope = observe(
         tracer=tracer, registry=registry, timer=timer, health=health
     )
-    return scope, _Telemetry(tracer, registry, timer, sampler)
+    return scope, _Telemetry(tracer, registry, timer, sampler, profiler)
 
 
 def _audit_failure(error) -> int:
@@ -828,6 +909,49 @@ def _run_store(args) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _run_timeline(args) -> int:
+    from .obs.timeline import write_timeline
+
+    out = args.out if args.out is not None else f"{args.file}.timeline.json"
+    try:
+        count = write_timeline(args.file, out)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 2
+    print(f"timeline: {count} trace event(s) written to {out}")
+    return 0
+
+
+def _run_compare(args) -> int:
+    import json as _json
+
+    from .obs.compare import DEFAULT_COMPARE_THRESHOLD, compare_traces
+
+    threshold = (
+        args.threshold
+        if args.threshold is not None
+        else DEFAULT_COMPARE_THRESHOLD
+    )
+    try:
+        comparison = compare_traces(
+            args.trace_a, args.trace_b, threshold=threshold
+        )
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"bad input: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(comparison.render())
+    return 0 if comparison.within_threshold else 1
+
+
 def _run_report(args) -> int:
     from pathlib import Path
 
@@ -876,6 +1000,10 @@ def main(argv: list[str] | None = None) -> int:
             return _run_bench(args)
         if args.command == "trace-summary":
             return _run_trace_summary(args)
+        if args.command == "timeline":
+            return _run_timeline(args)
+        if args.command == "compare":
+            return _run_compare(args)
         if args.command == "report":
             return _run_report(args)
         if args.command == "store":

@@ -10,7 +10,12 @@ from .lca import LinkedClusterArchitecture
 from .mobdhop import MobDHopClustering, relative_mobility
 from .maintenance import ClusterMaintenanceProtocol
 from .dhop_maintenance import DHopClusterMaintenanceProtocol
-from .stability import StabilitySummary, StabilityTracker
+from .stability import (
+    ClusterDynamicsCollector,
+    StabilitySummary,
+    StabilityTracker,
+    attach_cluster_dynamics,
+)
 
 __all__ = [
     "ClusteringAlgorithm",
@@ -29,6 +34,8 @@ __all__ = [
     "relative_mobility",
     "ClusterMaintenanceProtocol",
     "DHopClusterMaintenanceProtocol",
+    "ClusterDynamicsCollector",
     "StabilitySummary",
+    "attach_cluster_dynamics",
     "StabilityTracker",
 ]

@@ -21,6 +21,19 @@ body implements maintenance for the whole one-hop family.
 
 The protocol keeps the structure valid (P1 and P2) after *every*
 delivered event — the test suite asserts this invariant continuously.
+
+When tracing is on, each repair runs inside a causal **span** (see
+:mod:`repro.obs.spans`): ``repair:member-break`` for the P2 case,
+``repair:head-merge`` for the P1 case, with one ``reaffiliate`` child
+span per re-homed node and a ``span_link`` (``kind="cascade"``) from
+the merge to every reaffiliation it forced.  The CLUSTER ``msg_tx``
+events those repairs generate carry the handler's span id, which is
+what lets a trace attribute overhead bursts to the maintenance events
+that caused them.  The protocol also keeps unconditional running
+counters (:attr:`head_changes_total`, :attr:`reaffiliations_total`)
+incremented at exactly the points where the trace events are emitted,
+so the cluster-dynamics collector's window sums reconcile with trace
+event counts by construction.
 """
 
 from __future__ import annotations
@@ -59,6 +72,14 @@ class ClusterMaintenanceProtocol(Protocol):
         self.state: ClusterState | None = None
         self._priority: np.ndarray | None = None
         self._change_listeners: list = []
+        #: Running count of head-role changes (elections + resignations)
+        #: since attach.  Incremented unconditionally at the exact
+        #: points where ``head_change`` events are emitted, so windowed
+        #: deltas reconcile with trace event counts by construction.
+        self.head_changes_total = 0
+        #: Running count of affiliation changes since attach (same
+        #: contract, mirroring ``cluster_reaffiliation`` events).
+        self.reaffiliations_total = 0
 
     # ------------------------------------------------------------------
     def add_change_listener(self, listener) -> None:
@@ -93,8 +114,13 @@ class ClusterMaintenanceProtocol(Protocol):
     def _best_head(self, candidates: np.ndarray) -> int:
         return int(candidates[np.argmax(self._priority[candidates])])
 
-    def _reaffiliate(self, sim: Simulation, node: int, time: float) -> None:
-        """Give an orphaned node a new affiliation (one CLUSTER message)."""
+    def _reaffiliate(self, sim: Simulation, node: int, time: float) -> int | None:
+        """Give an orphaned node a new affiliation (one CLUSTER message).
+
+        Returns the ``reaffiliate`` span id when tracing (else None),
+        so a cascading repair can link itself to the reaffiliations it
+        forced.
+        """
         heads = self._neighboring_heads(sim, node)
         if len(heads):
             new_head = self._best_head(heads)
@@ -104,6 +130,13 @@ class ClusterMaintenanceProtocol(Protocol):
             self.state.make_head(node)
             new_head = node
             became_head = True
+        self.reaffiliations_total += 1
+        if became_head:
+            self.head_changes_total += 1
+        spans = sim.spans
+        span = None
+        if spans.enabled:
+            span = spans.start("reaffiliate", "handler", time, node=int(node))
         self._send_cluster_message(sim)
         if sim.tracer.enabled:
             sim.tracer.emit(
@@ -113,6 +146,7 @@ class ClusterMaintenanceProtocol(Protocol):
                 node=int(node),
                 head=int(new_head),
                 role="head" if became_head else "member",
+                span=span,
             )
             if became_head:
                 sim.tracer.emit(
@@ -121,13 +155,30 @@ class ClusterMaintenanceProtocol(Protocol):
                     sim=sim.sim_id,
                     node=int(node),
                     kind="elect",
+                    span=span,
                 )
+        if span is not None:
+            spans.end(time)
         self._notify(sim, node, time)
+        return span
 
     def _resign_head(self, sim: Simulation, loser: int, winner: int, time: float) -> None:
         """Demote ``loser`` (joining ``winner``) and re-home its members."""
         members = self.state.members_of(loser)
+        spans = sim.spans
+        merge_span = None
+        if spans.enabled:
+            merge_span = spans.start(
+                "repair:head-merge",
+                "handler",
+                time,
+                loser=int(loser),
+                winner=int(winner),
+                members=int(len(members)),
+            )
         self.state.make_member(loser, winner)
+        self.head_changes_total += 1
+        self.reaffiliations_total += 1
         self._send_cluster_message(sim)
         if sim.tracer.enabled:
             sim.tracer.emit(
@@ -136,6 +187,7 @@ class ClusterMaintenanceProtocol(Protocol):
                 sim=sim.sim_id,
                 node=int(loser),
                 kind="resign",
+                span=merge_span,
             )
             sim.tracer.emit(
                 "cluster_reaffiliation",
@@ -144,6 +196,7 @@ class ClusterMaintenanceProtocol(Protocol):
                 node=int(loser),
                 head=int(winner),
                 role="member",
+                span=merge_span,
             )
         self._notify(sim, loser, time)
         # Former members re-affiliate, deterministically by index.  The
@@ -152,7 +205,11 @@ class ClusterMaintenanceProtocol(Protocol):
         # P1 violation because a node only becomes head when it has no
         # neighboring head.
         for member in members:
-            self._reaffiliate(sim, int(member), time)
+            child = self._reaffiliate(sim, int(member), time)
+            if merge_span is not None and child is not None:
+                spans.link(merge_span, child, "cascade", time)
+        if merge_span is not None:
+            spans.end(time)
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -161,9 +218,20 @@ class ClusterMaintenanceProtocol(Protocol):
         state = self.state
         # Member lost the link to its own head (P2 violation).
         if state.roles[u] == Role.MEMBER and state.head_of[u] == v:
-            self._reaffiliate(sim, u, time)
+            orphan = u
         elif state.roles[v] == Role.MEMBER and state.head_of[v] == u:
-            self._reaffiliate(sim, v, time)
+            orphan = v
+        else:
+            return
+        spans = sim.spans
+        span_open = spans.enabled
+        if span_open:
+            spans.start(
+                "repair:member-break", "handler", time, u=int(u), v=int(v)
+            )
+        self._reaffiliate(sim, orphan, time)
+        if span_open:
+            spans.end(time)
 
     def on_link_up(self, sim: Simulation, u: int, v: int, time: float) -> None:
         state = self.state

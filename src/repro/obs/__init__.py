@@ -29,9 +29,18 @@ monitor, a background RSS/CPU sampler, and a Markdown report renderer
 over the resulting trace events — wired into simulations through
 :func:`attach_run_health` and a :class:`RunHealthConfig` carried by the
 ambient context (the CLI's ``--audit`` flag).
+
+The **span layer** (:mod:`~repro.obs.spans`) adds causal structure to
+the trace: a hierarchy of run → phase → step → handler spans with
+``span_link`` edges from cluster-maintenance repairs to the message
+bursts they trigger.  :mod:`~repro.obs.timeline` exports the result as
+Chrome/Perfetto trace-event JSON, and :mod:`~repro.obs.compare` diffs
+two traces — overhead rates, cluster-dynamics rates, residual verdicts
+— behind the ``repro-manet compare`` gate.
 """
 
 from .audit import AuditError, InvariantAuditor
+from .compare import TraceComparison, TraceDigest, compare_traces
 from .context import ObsContext, RunHealthConfig, current, observe
 from .health import attach_run_health
 from .log import PROGRESS_LOGGER, configure_logging, progress
@@ -39,7 +48,9 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .report import HealthReport, TraceHealth, build_report
 from .residuals import MONITORED_CATEGORIES, ResidualMonitor
 from .resources import ResourceSampler, current_rss_kb
+from .spans import SpanTracker, next_span_id
 from .summary import RunSummary, TraceSummary, read_trace, summarize_trace
+from .timeline import build_timeline, write_timeline
 from .timing import PhaseTimer, PhaseTiming, TimingReport
 from .tracer import (
     NULL_TRACER,
@@ -77,6 +88,13 @@ __all__ = [
     "TraceSummary",
     "read_trace",
     "summarize_trace",
+    "SpanTracker",
+    "next_span_id",
+    "TraceComparison",
+    "TraceDigest",
+    "compare_traces",
+    "build_timeline",
+    "write_timeline",
     "PhaseTimer",
     "PhaseTiming",
     "TimingReport",

@@ -1,0 +1,433 @@
+"""Cross-run trace diffing: ``repro-manet compare <a> <b>``.
+
+Two traced runs of the same scenario rarely fail identically — a perf
+regression, a seed change, or a model edit shows up as *shifted rates*.
+This module digests each trace into a compact set of comparable
+metrics and diffs them:
+
+* **overhead rates** — per-category per-node message frequencies
+  (``msg_tx`` folded through :func:`~repro.obs.summary.summarize_trace`,
+  averaged across the trace's runs);
+* **cluster dynamics** — head-change / reaffiliation / gateway-churn
+  rates and structural means from the ``cluster_window`` series, which
+  is what lets an overhead delta be *attributed*: the paper's model
+  says CLUSTER and ROUTE overhead follow maintenance-event rates, so a
+  run whose cluster overhead moved together with its head-change rate
+  has a mechanistic explanation, not just a diff;
+* **residual verdicts** — the per-category ``kind="final"`` outcomes of
+  the analytic-residual monitor (a verdict *flip* between runs always
+  fails the gate, whatever the threshold);
+* **phase timings** — per-phase wall-clock totals from the
+  ``resource_sample`` stream (informational);
+* **span totals** — spans started / causal links (informational).
+
+The gate: any *gating* metric (overhead rates and dynamics rates) whose
+relative delta exceeds the threshold, or any residual verdict change,
+makes the comparison "exceeding" — the CLI maps that to exit code 1, so
+``compare`` slots into CI next to the bench-history check.  A trace
+compared against itself always yields zero deltas and exit 0.
+
+:func:`diff_phases` is the shared attribution helper: ``repro-manet
+bench --history`` uses it to annotate steps/sec regressions with the
+engine phases whose per-step cost moved most.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .summary import read_trace, summarize_trace
+
+__all__ = [
+    "DEFAULT_COMPARE_THRESHOLD",
+    "TraceComparison",
+    "TraceDigest",
+    "compare_traces",
+    "diff_phases",
+]
+
+#: Relative delta above which a gating metric fails the comparison.
+DEFAULT_COMPARE_THRESHOLD = 0.10
+
+#: Overhead categories whose deltas the attribution step tries to
+#: explain with cluster-dynamics deltas.  HELLO is excluded: in both
+#: hello modes its rate follows link churn / the beacon period, not
+#: cluster-maintenance events.
+_ATTRIBUTABLE = ("cluster", "route")
+
+#: Dynamics metrics that can carry an attribution (rate-like, causally
+#: upstream of CLUSTER/ROUTE traffic in the paper's model).
+_DYNAMICS_CAUSES = (
+    ("head_change_rate", "head-change rate"),
+    ("reaffiliation_rate", "reaffiliation rate"),
+)
+
+
+def _finite(value) -> float | None:
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+@dataclass
+class TraceDigest:
+    """Comparable metrics extracted from one trace file."""
+
+    path: str
+    runs: int = 0
+    #: ``category -> `` mean per-node msg frequency across runs.
+    rates: dict[str, float] = field(default_factory=dict)
+    #: Cluster-dynamics aggregates (rates are per node per sim-time).
+    dynamics: dict[str, float] = field(default_factory=dict)
+    #: ``category -> `` every residual final verdict was OK.
+    residuals: dict[str, bool] = field(default_factory=dict)
+    #: Per-phase wall-clock seconds from ``resource_sample`` deltas.
+    phases: dict[str, float] = field(default_factory=dict)
+    #: Span totals (started / ended / links).
+    spans: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_trace(cls, path) -> "TraceDigest":
+        """Digest the trace at ``path`` (raises like ``summarize_trace``)."""
+        summary = summarize_trace(path)
+        digest = cls(path=str(path), runs=len(summary.runs))
+        digest.spans = summary.spans
+
+        rate_sums: dict[str, list[float]] = {}
+        for run in summary.runs.values():
+            frequencies = run.frequencies()
+            if not frequencies:
+                continue
+            for category, rate in frequencies.items():
+                rate_sums.setdefault(category, []).append(rate)
+        digest.rates = {
+            category: sum(values) / len(values)
+            for category, values in sorted(rate_sums.items())
+        }
+
+        windows: dict[int, list[dict]] = {}
+        for record in read_trace(path):
+            event = record.get("event")
+            if event == "cluster_window":
+                windows.setdefault(int(record.get("sim", 0)), []).append(
+                    record
+                )
+            elif event == "residual" and record.get("kind") == "final":
+                category = str(record.get("category", "?"))
+                digest.residuals[category] = digest.residuals.get(
+                    category, True
+                ) and bool(record.get("ok", True))
+            elif event == "resource_sample":
+                for phase, seconds in (record.get("phases") or {}).items():
+                    digest.phases[phase] = (
+                        digest.phases.get(phase, 0.0) + float(seconds)
+                    )
+        digest.dynamics = _dynamics_aggregates(windows, summary)
+        return digest
+
+
+def _dynamics_aggregates(windows: dict[int, list[dict]], summary) -> dict:
+    """Per-node-per-time dynamics rates, averaged across runs."""
+    per_sim: dict[str, list[float]] = {}
+    all_clusters: list[float] = []
+    for sim, records in sorted(windows.items()):
+        run = summary.runs.get(sim)
+        n_nodes = run.n_nodes if run is not None and run.n_nodes else None
+        observed = float(records[-1]["t"]) - float(
+            records[0].get("window_start", records[0]["t"])
+        )
+        all_clusters.extend(float(w.get("clusters", 0)) for w in records)
+        if n_nodes is None or observed <= 0.0:
+            continue
+        scale = n_nodes * observed
+        per_sim.setdefault("head_change_rate", []).append(
+            sum(int(w.get("head_changes", 0)) for w in records) / scale
+        )
+        per_sim.setdefault("reaffiliation_rate", []).append(
+            sum(int(w.get("reaffiliations", 0)) for w in records) / scale
+        )
+        per_sim.setdefault("gateway_churn_rate", []).append(
+            sum(
+                int(w.get("gateway_adds", 0)) + int(w.get("gateway_drops", 0))
+                for w in records
+            )
+            / scale
+        )
+        tenure = _finite(records[-1].get("mean_head_tenure"))
+        if tenure is not None:
+            per_sim.setdefault("mean_head_tenure", []).append(tenure)
+        diameter = _finite(records[-1].get("mean_diameter"))
+        if diameter is not None:
+            per_sim.setdefault("mean_diameter", []).append(diameter)
+    aggregates = {
+        name: sum(values) / len(values)
+        for name, values in sorted(per_sim.items())
+        if values
+    }
+    if all_clusters:
+        aggregates["mean_clusters"] = sum(all_clusters) / len(all_clusters)
+    return aggregates
+
+
+@dataclass
+class ComparisonRow:
+    """One diffed metric."""
+
+    metric: str
+    a: float | None
+    b: float | None
+    gating: bool
+
+    @property
+    def delta(self) -> float | None:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+    @property
+    def rel(self) -> float | None:
+        """Relative delta vs ``a`` (``None`` when undefined; a change
+        from exactly zero is reported as ``inf``)."""
+        if self.a is None or self.b is None:
+            return None
+        if self.a == 0.0:
+            return 0.0 if self.b == 0.0 else math.inf
+        return (self.b - self.a) / abs(self.a)
+
+
+@dataclass
+class TraceComparison:
+    """The full diff of two trace digests."""
+
+    a: TraceDigest
+    b: TraceDigest
+    threshold: float
+    rows: list[ComparisonRow] = field(default_factory=list)
+    verdict_changes: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def exceeding(self) -> list[ComparisonRow]:
+        """Gating rows whose relative delta exceeds the threshold."""
+        found = []
+        for row in self.rows:
+            if not row.gating:
+                continue
+            rel = row.rel
+            if rel is not None and abs(rel) > self.threshold:
+                found.append(row)
+        return found
+
+    @property
+    def within_threshold(self) -> bool:
+        """The CLI's exit-0 condition."""
+        return not self.exceeding() and not self.verdict_changes
+
+    def attributions(self) -> list[str]:
+        """Overhead deltas explained by cluster-dynamics deltas.
+
+        For each attributable overhead category whose rate moved beyond
+        the threshold, name the dynamics rates that moved with it (the
+        paper's causal account of CLUSTER/ROUTE overhead).
+        """
+        by_metric = {row.metric: row for row in self.rows}
+        lines = []
+        for category in _ATTRIBUTABLE:
+            row = by_metric.get(f"rate:{category}")
+            if row is None or row.rel is None:
+                continue
+            if abs(row.rel) <= self.threshold:
+                continue
+            causes = []
+            for key, label in _DYNAMICS_CAUSES:
+                cause = by_metric.get(f"dynamics:{key}")
+                if cause is None or cause.rel is None:
+                    continue
+                if abs(cause.rel) > self.threshold and (
+                    (cause.rel > 0) == (row.rel > 0)
+                ):
+                    causes.append(f"{label} {_fmt_rel(cause.rel)}")
+            if causes:
+                lines.append(
+                    f"{category} rate {_fmt_rel(row.rel)} attributed to: "
+                    + ", ".join(causes)
+                )
+            else:
+                lines.append(
+                    f"{category} rate {_fmt_rel(row.rel)}: no "
+                    "cluster-dynamics delta moved with it (unattributed)"
+                )
+        return lines
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable view."""
+        return {
+            "a": self.a.path,
+            "b": self.b.path,
+            "threshold": self.threshold,
+            "rows": [
+                {
+                    "metric": row.metric,
+                    "a": row.a,
+                    "b": row.b,
+                    "delta": row.delta,
+                    "rel": None
+                    if row.rel is None or not math.isfinite(row.rel)
+                    else row.rel,
+                    "gating": row.gating,
+                }
+                for row in self.rows
+            ],
+            "verdict_changes": list(self.verdict_changes),
+            "attributions": self.attributions(),
+            "within_threshold": self.within_threshold,
+        }
+
+    def render(self) -> str:
+        """Human-readable comparison."""
+        lines = [
+            f"comparing  A: {self.a.path}",
+            f"           B: {self.b.path}",
+            f"  {'metric':32s} {'A':>12s} {'B':>12s} "
+            f"{'delta':>12s} {'rel':>8s}",
+        ]
+        for row in self.rows:
+            marker = ""
+            rel = row.rel
+            if (
+                row.gating
+                and rel is not None
+                and abs(rel) > self.threshold
+            ):
+                marker = "  <-- exceeds threshold"
+            lines.append(
+                f"  {row.metric:32s} {_fmt(row.a):>12s} {_fmt(row.b):>12s} "
+                f"{_fmt(row.delta):>12s} {_fmt_rel(rel):>8s}{marker}"
+            )
+        for change in self.verdict_changes:
+            lines.append(f"  residual verdict changed: {change}")
+        attributions = self.attributions()
+        if attributions:
+            lines.append("attribution:")
+            lines.extend(f"  {line}" for line in attributions)
+        if self.within_threshold:
+            lines.append(
+                f"verdict: WITHIN THRESHOLD ({self.threshold:.0%})"
+            )
+        else:
+            lines.append(
+                f"verdict: EXCEEDS THRESHOLD ({self.threshold:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return format(value, ".4g")
+
+
+def _fmt_rel(rel: float | None) -> str:
+    if rel is None:
+        return "-"
+    if math.isinf(rel):
+        return "+inf" if rel > 0 else "-inf"
+    return f"{rel:+.1%}"
+
+
+def compare_traces(
+    path_a,
+    path_b,
+    threshold: float = DEFAULT_COMPARE_THRESHOLD,
+) -> TraceComparison:
+    """Digest and diff two traces (raises like ``summarize_trace``)."""
+    if threshold <= 0.0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    a = TraceDigest.from_trace(path_a)
+    b = TraceDigest.from_trace(path_b)
+    comparison = TraceComparison(a=a, b=b, threshold=threshold)
+    rows = comparison.rows
+    for category in sorted(set(a.rates) | set(b.rates)):
+        rows.append(
+            ComparisonRow(
+                metric=f"rate:{category}",
+                a=a.rates.get(category),
+                b=b.rates.get(category),
+                gating=True,
+            )
+        )
+    gating_dynamics = {
+        "head_change_rate",
+        "reaffiliation_rate",
+        "gateway_churn_rate",
+    }
+    for name in sorted(set(a.dynamics) | set(b.dynamics)):
+        rows.append(
+            ComparisonRow(
+                metric=f"dynamics:{name}",
+                a=a.dynamics.get(name),
+                b=b.dynamics.get(name),
+                gating=name in gating_dynamics,
+            )
+        )
+    for phase in sorted(set(a.phases) | set(b.phases)):
+        rows.append(
+            ComparisonRow(
+                metric=f"phase:{phase}",
+                a=a.phases.get(phase),
+                b=b.phases.get(phase),
+                gating=False,
+            )
+        )
+    for name in ("started", "links"):
+        rows.append(
+            ComparisonRow(
+                metric=f"spans:{name}",
+                a=float(a.spans.get(name, 0)),
+                b=float(b.spans.get(name, 0)),
+                gating=False,
+            )
+        )
+    for category in sorted(set(a.residuals) | set(b.residuals)):
+        verdict_a = a.residuals.get(category)
+        verdict_b = b.residuals.get(category)
+        if verdict_a is not None and verdict_b is not None and (
+            verdict_a != verdict_b
+        ):
+            comparison.verdict_changes.append(
+                f"{category}: {'OK' if verdict_a else 'BELOW BOUND'} -> "
+                f"{'OK' if verdict_b else 'BELOW BOUND'}"
+            )
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# Phase-delta attribution (shared with bench --history)
+# ----------------------------------------------------------------------
+def diff_phases(
+    phases_a: dict[str, float],
+    phases_b: dict[str, float],
+    top: int = 4,
+) -> list[str]:
+    """Attribution lines for the phases whose cost moved most, B vs A.
+
+    Inputs are per-phase costs in comparable units (e.g. seconds per
+    step); output lines read ``adjacency: 0.8 -> 1.9 (+138%)``, sorted
+    by absolute delta, largest first.  Used by the bench-history gate
+    so a steps/sec regression arrives with its likely cause attached.
+    """
+    deltas = []
+    for phase in sorted(set(phases_a) | set(phases_b)):
+        before = float(phases_a.get(phase, 0.0))
+        after = float(phases_b.get(phase, 0.0))
+        if before == 0.0 and after == 0.0:
+            continue
+        rel = (after - before) / before if before > 0.0 else math.inf
+        deltas.append((abs(after - before), phase, before, after, rel))
+    deltas.sort(reverse=True)
+    return [
+        f"{phase}: {before:.4g} -> {after:.4g} ({_fmt_rel(rel)})"
+        for _size, phase, before, after, rel in deltas[:top]
+    ]

@@ -8,6 +8,12 @@ Markdown document with four diagnostic sections per trace:
   (both commands share :func:`~repro.obs.summary.summarize_trace`, so
   the numbers reconcile by construction), and the verdict of the
   events-vs-``run_end`` closed loop;
+* **cluster dynamics** — per-run totals of the ``cluster_window`` time
+  series (head changes, reaffiliations, gateway churn, mean cluster
+  count/tenure/diameter), reconciled against the trace's own
+  ``head_change`` / ``cluster_reaffiliation`` / ``gateway_change``
+  event counts — the same counts ``trace-summary`` prints — so the
+  two commands agree by construction;
 * **invariant timeline** — audits, violations and violation spans from
   the ``invariant_audit`` stream;
 * **analytic residuals** — per-category window statistics (quantiles
@@ -98,6 +104,8 @@ class TraceHealth:
     resources: list[dict] = field(default_factory=list)
     #: ``cache_hit`` / ``cache_miss`` / ``cache_write`` event counts.
     cache: dict[str, int] = field(default_factory=dict)
+    #: ``sim -> list`` of ``cluster_window`` records, in trace order.
+    dynamics: dict[int, list[dict]] = field(default_factory=dict)
 
     def cache_hit_rate(self) -> float | None:
         """Task cache-hit rate, or ``None`` without cache events."""
@@ -107,11 +115,49 @@ class TraceHealth:
             return None
         return hits / (hits + misses)
 
+    def dynamics_mismatches(self) -> list[str]:
+        """Window sums that fail to reproduce the trace's event counts.
+
+        The collector computes window deltas from counters incremented
+        at the exact emission points of ``head_change`` /
+        ``cluster_reaffiliation`` / ``gateway_change``, so any
+        difference means records were lost — the cluster-dynamics
+        analogue of the ``msg_tx`` reconciliation loop.
+        """
+        found: list[str] = []
+        checks = (
+            ("head_changes", "head_change"),
+            ("reaffiliations", "cluster_reaffiliation"),
+        )
+        for sim, windows in sorted(self.dynamics.items()):
+            run = self.summary.runs.get(sim)
+            events = run.events if run is not None else {}
+            for window_field, event in checks:
+                summed = sum(int(w.get(window_field, 0)) for w in windows)
+                counted = events.get(event, 0)
+                if summed != counted:
+                    found.append(
+                        f"sim {sim}: cluster_window {window_field} sum to "
+                        f"{summed}, trace has {counted} {event} events"
+                    )
+            churn = sum(
+                int(w.get("gateway_adds", 0)) + int(w.get("gateway_drops", 0))
+                for w in windows
+            )
+            counted = events.get("gateway_change", 0)
+            if churn != counted:
+                found.append(
+                    f"sim {sim}: cluster_window gateway churn sums to "
+                    f"{churn}, trace has {counted} gateway_change events"
+                )
+        return found
+
     # ------------------------------------------------------------------
     def problems(self) -> list[str]:
         """Everything unhealthy about this trace, one line each."""
         path = self.summary.path
         found = [f"{path}: {m}" for m in self.summary.mismatches()]
+        found.extend(f"{path}: {m}" for m in self.dynamics_mismatches())
         for sim, timeline in sorted(self.audits.items()):
             if timeline.violations:
                 found.append(
@@ -146,6 +192,9 @@ def analyze_trace(path) -> TraceHealth:
                 health.residual_finals[key] = record
             else:
                 health.residual_windows.setdefault(key, []).append(record)
+        elif event == "cluster_window":
+            sim = int(record.get("sim", 0))
+            health.dynamics.setdefault(sim, []).append(record)
         elif event == "resource_sample":
             health.resources.append(record)
         elif event in ("cache_hit", "cache_miss", "cache_write"):
@@ -212,6 +261,7 @@ class HealthReport:
         )
         lines.append("")
         lines.extend(self._render_totals(summary))
+        lines.extend(self._render_dynamics(trace))
         lines.extend(self._render_audits(trace))
         lines.extend(self._render_residuals(trace))
         lines.extend(self._render_resources(trace))
@@ -261,6 +311,65 @@ class HealthReport:
                 _table(["sim", "N", "category", "rate"], per_run_rows)
             )
             lines.append("")
+        return lines
+
+    def _render_dynamics(self, trace: TraceHealth) -> list[str]:
+        lines = ["### Cluster dynamics", ""]
+        if not trace.dynamics:
+            lines.append(
+                "No `cluster_window` events — run with `--trace` and an "
+                "attached maintenance protocol to collect the series."
+            )
+            lines.append("")
+            return lines
+        import statistics
+
+        rows = []
+        for sim, windows in sorted(trace.dynamics.items()):
+            clusters = [int(w.get("clusters", 0)) for w in windows]
+            rows.append(
+                [
+                    sim,
+                    len(windows),
+                    sum(int(w.get("head_changes", 0)) for w in windows),
+                    sum(int(w.get("reaffiliations", 0)) for w in windows),
+                    sum(
+                        int(w.get("gateway_adds", 0))
+                        + int(w.get("gateway_drops", 0))
+                        for w in windows
+                    ),
+                    statistics.mean(clusters) if clusters else None,
+                    windows[-1].get("mean_head_tenure"),
+                    windows[-1].get("mean_diameter"),
+                ]
+            )
+        lines.extend(
+            _table(
+                [
+                    "sim",
+                    "windows",
+                    "head changes",
+                    "reaffiliations",
+                    "gateway churn",
+                    "mean clusters",
+                    "head tenure",
+                    "mean diameter",
+                ],
+                rows,
+            )
+        )
+        lines.append("")
+        mismatches = trace.dynamics_mismatches()
+        if mismatches:
+            lines.append("**Cluster-dynamics reconciliation FAILED:**")
+            lines.extend(f"- {m}" for m in mismatches)
+        else:
+            lines.append(
+                "Reconciliation: window sums match the trace's "
+                "`head_change` / `cluster_reaffiliation` / "
+                "`gateway_change` event counts exactly."
+            )
+        lines.append("")
         return lines
 
     def _render_audits(self, trace: TraceHealth) -> list[str]:
@@ -369,10 +478,13 @@ class HealthReport:
             )
             lines.append("")
             return lines
-        rss = Histogram("rss", bounds=_rss_buckets(samples))
-        for sample in samples:
-            rss.observe(float(sample.get("rss_kb", 0)))
-        stats = rss.summary()
+        # Samples from platforms without an RSS source carry rss_kb
+        # null (see repro.obs.resources) — report what remains.
+        rss_values = [
+            float(s["rss_kb"])
+            for s in samples
+            if s.get("rss_kb") is not None
+        ]
         utils = [float(s.get("cpu_util", 0.0)) for s in samples[1:]] or [
             float(s.get("cpu_util", 0.0)) for s in samples
         ]
@@ -380,10 +492,17 @@ class HealthReport:
             f"- samples: {len(samples)} over "
             f"{samples[-1].get('wall_s', 0.0):.4g}s wall-clock"
         )
-        lines.append(
-            f"- RSS (KiB): min {stats['min']:.4g}, p50 {stats['p50']:.4g}, "
-            f"max {stats['max']:.4g}"
-        )
+        if rss_values:
+            rss = Histogram("rss", bounds=_rss_buckets(rss_values))
+            for value in rss_values:
+                rss.observe(value)
+            stats = rss.summary()
+            lines.append(
+                f"- RSS (KiB): min {stats['min']:.4g}, "
+                f"p50 {stats['p50']:.4g}, max {stats['max']:.4g}"
+            )
+        else:
+            lines.append("- RSS: unavailable on this platform")
         lines.append(
             f"- CPU utilisation: mean {sum(utils) / len(utils):.2f} cores"
         )
@@ -443,8 +562,8 @@ def _window_histogram(windows: list[dict], final: dict | None) -> Histogram:
     return histogram
 
 
-def _rss_buckets(samples: list[dict]) -> tuple[float, ...]:
-    peak = max(float(s.get("rss_kb", 0)) for s in samples) or 1.0
+def _rss_buckets(rss_values: list[float]) -> tuple[float, ...]:
+    peak = max(rss_values) or 1.0
     return tuple(peak * f for f in (0.25, 0.5, 0.75, 0.9, 1.0))
 
 

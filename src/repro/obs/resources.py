@@ -27,21 +27,28 @@ __all__ = ["ResourceSampler", "current_rss_kb"]
 _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
 
 
-def current_rss_kb() -> int:
-    """Current resident set size in kilobytes.
+def current_rss_kb() -> int | None:
+    """Current resident set size in kilobytes, or ``None`` if unknown.
 
     Reads ``/proc/self/statm`` (Linux); falls back to the ``getrusage``
     *peak* RSS elsewhere — still an upper bound, and monotone, so the
     report labels it accordingly via :data:`ResourceSampler.rss_source`.
+    On platforms with neither source (no procfs and no ``resource``
+    module, e.g. some sandboxes), returns ``None`` so sampling degrades
+    to CPU/phase data instead of failing.
     """
     try:
         with open("/proc/self/statm", "r", encoding="ascii") as fh:
             resident_pages = int(fh.read().split()[1])
         return resident_pages * _PAGE_SIZE // 1024
     except (OSError, IndexError, ValueError):
+        pass
+    try:
         import resource
 
         return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except (ImportError, OSError, ValueError):
+        return None
 
 
 class ResourceSampler:
@@ -67,9 +74,15 @@ class ResourceSampler:
         self.tracer = tracer
         self.timer = timer
         self.samples: list[dict] = []
-        self.rss_source = "statm" if os.path.exists("/proc/self/statm") else (
-            "getrusage-peak"
-        )
+        if os.path.exists("/proc/self/statm"):
+            self.rss_source = "statm"
+        elif current_rss_kb() is not None:
+            self.rss_source = "getrusage-peak"
+        else:
+            # Non-Linux platform with no usable RSS source: samples
+            # still flow, carrying rss_kb=None (satellite: macOS dev
+            # machines must not lose --sample-resources entirely).
+            self.rss_source = "unavailable"
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._started_at: float | None = None
@@ -166,14 +179,16 @@ class ResourceSampler:
                 "interval_s": self.interval,
                 "rss_source": self.rss_source,
             }
-        rss = [s["rss_kb"] for s in self.samples]
+        rss = [
+            s["rss_kb"] for s in self.samples if s["rss_kb"] is not None
+        ]
         utils = [s["cpu_util"] for s in self.samples[1:] or self.samples]
         return {
             "samples": len(self.samples),
             "interval_s": self.interval,
             "rss_source": self.rss_source,
-            "rss_kb_max": max(rss),
-            "rss_kb_mean": sum(rss) / len(rss),
+            "rss_kb_max": max(rss) if rss else None,
+            "rss_kb_mean": sum(rss) / len(rss) if rss else None,
             "cpu_util_mean": sum(utils) / len(utils) if utils else 0.0,
             "wall_s": self.samples[-1]["wall_s"],
         }

@@ -35,6 +35,10 @@ class RunSummary:
     n_nodes: int | None = None
     measured_time: float | None = None
     reported_totals: dict | None = None
+    #: Per-event-type record counts for this run — the counts the
+    #: cluster-dynamics report section reconciles its window sums
+    #: against.
+    events: dict[str, int] = field(default_factory=dict)
 
     def frequencies(self) -> dict[str, float] | None:
         """Per-node message frequencies, when run metadata is present."""
@@ -101,6 +105,16 @@ class TraceSummary:
                 totals[category] = totals.get(category, 0.0) + count
         return totals
 
+    @property
+    def spans(self) -> dict[str, int]:
+        """Span-layer totals: started / ended / links across the trace."""
+        counts = self.event_counts
+        return {
+            "started": counts.get("span_start", 0),
+            "ended": counts.get("span_end", 0),
+            "links": counts.get("span_link", 0),
+        }
+
     def mismatches(self) -> list[str]:
         """All reconciliation problems across runs (empty when clean)."""
         problems: list[str] = []
@@ -120,6 +134,7 @@ class TraceSummary:
             "records": self.records,
             "events": dict(sorted(self.event_counts.items())),
             "time_span": [self.first_time, self.last_time],
+            "spans": self.spans,
             "messages": dict(sorted(self.messages.items())),
             "bits": dict(sorted(self.bits.items())),
             "runs": [
@@ -130,6 +145,7 @@ class TraceSummary:
                     "messages": dict(sorted(run.messages.items())),
                     "bits": dict(sorted(run.bits.items())),
                     "frequencies": run.frequencies(),
+                    "events": dict(sorted(run.events.items())),
                 }
                 for _, run in sorted(self.runs.items())
             ],
@@ -146,6 +162,12 @@ class TraceSummary:
             )
         for event, count in sorted(self.event_counts.items()):
             lines.append(f"  {event:24s} {count:10d} events")
+        spans = self.spans
+        if any(spans.values()):
+            lines.append(
+                "spans: {started} started, {ended} ended, "
+                "{links} causal links".format(**spans)
+            )
         lines.append("per-category message totals:")
         bits = self.bits
         for category, count in sorted(self.messages.items()):
@@ -240,6 +262,7 @@ def summarize_trace(path) -> TraceSummary:
         run = summary.runs.get(sim)
         if run is None:
             run = summary.runs[sim] = RunSummary(sim=sim)
+        run.events[event] = run.events.get(event, 0) + 1
         if event == "msg_tx":
             category = record["category"]
             run.messages[category] = run.messages.get(category, 0) + int(

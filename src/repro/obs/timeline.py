@@ -1,0 +1,257 @@
+"""Chrome/Perfetto timeline export and collapsed-stack profiles.
+
+``repro-manet timeline <trace>`` converts a JSONL trace into the Chrome
+trace-event JSON format (the ``traceEvents`` array understood by
+``chrome://tracing`` and https://ui.perfetto.dev), so a simulation run
+can be inspected *visually*: span hierarchies become nested slices,
+``span_link`` edges become flow arrows, the cluster-dynamics series
+become counter tracks, and head changes become instant markers.
+
+Mapping (all timestamps are simulated seconds scaled to microseconds,
+since the trace-event format is wall-clock-oriented):
+
+===================  =================================================
+trace event          Chrome trace event
+===================  =================================================
+``span_start/end``   one complete slice (``ph="X"``) per matched pair,
+                     on ``pid=sim``, ``tid`` by span kind
+``span_link``        a flow arrow (``ph="s"`` → ``ph="f"``)
+``cluster_window``   counter samples (``ph="C"``): clusters, gateways,
+                     head changes, reaffiliations per window
+``head_change``      instant events (``ph="i"``)
+``run_begin/end``    process metadata (``ph="M"``) naming ``pid=sim``
+===================  =================================================
+
+Zero-duration slices (a handler span opens and closes at the same
+simulated instant — common, since repairs complete within one step) are
+widened to a nominal minimum so they remain clickable in the viewer;
+the true ``duration`` is preserved in the slice's ``args``.
+
+The module also hosts the ``--profile`` helper used by ``run`` /
+``simulate``: a :mod:`cProfile` capture written in *collapsed-stack*
+format (``caller;callee count`` lines, one per line), the input format
+of flamegraph tooling.  The two-frame stacks are an approximation —
+cProfile records caller/callee pairs, not full stacks — which is
+exactly enough for a width-proportional flame graph of where run time
+went.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .summary import read_trace
+
+__all__ = [
+    "build_timeline",
+    "profile_to_collapsed",
+    "write_collapsed_profile",
+    "write_timeline",
+]
+
+#: Simulated seconds → trace-event microseconds.
+_US = 1_000_000.0
+
+#: Nominal width for zero-duration slices (µs) so they stay visible.
+_MIN_SLICE_US = 1.0
+
+#: Counter tracks exported from each ``cluster_window`` record.
+_WINDOW_COUNTERS = (
+    ("clusters", "clusters"),
+    ("gateways", "gateways"),
+    ("head_changes", "head changes/window"),
+    ("reaffiliations", "reaffiliations/window"),
+)
+
+#: Stable thread ids per span kind, so the viewer groups slices in a
+#: fixed vertical order (run on top, handlers at the bottom).
+_KIND_TIDS = {"run": 0, "phase": 1, "step": 2, "handler": 3}
+
+
+def _tid_for(kind: str) -> int:
+    return _KIND_TIDS.get(kind, 4)
+
+
+def build_timeline(path) -> dict:
+    """Convert the JSONL trace at ``path`` into a Chrome trace dict.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}``, ready
+    for ``json.dump``.  Raises ``ValueError`` for a malformed or empty
+    trace (same contract as :func:`~repro.obs.summary.summarize_trace`).
+    """
+    events: list[dict] = []
+    #: span id -> its span_start record (until the span_end arrives).
+    open_spans: dict[int, dict] = {}
+    named_pids: set[int] = set()
+    records = 0
+
+    def ensure_process(sim: int) -> None:
+        if sim in named_pids:
+            return
+        named_pids.add(sim)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": sim,
+                "args": {"name": f"sim {sim}"},
+            }
+        )
+        for kind, tid in sorted(_KIND_TIDS.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": sim,
+                    "tid": tid,
+                    "args": {"name": kind},
+                }
+            )
+
+    for record in read_trace(path):
+        records += 1
+        event = record.get("event")
+        sim = int(record.get("sim", 0))
+        time_us = float(record.get("t", 0.0)) * _US
+        if event == "span_start":
+            open_spans[int(record["span"])] = record
+        elif event == "span_end":
+            span = int(record["span"])
+            start = open_spans.pop(span, None)
+            if start is None:
+                continue  # start lost to filtering/truncation
+            ensure_process(sim)
+            start_us = float(start["t"]) * _US
+            duration_us = max(time_us - start_us, _MIN_SLICE_US)
+            args = {
+                key: value
+                for key, value in start.items()
+                if key
+                not in ("schema", "event", "t", "sim", "span", "name", "kind")
+            }
+            args["span"] = span
+            args["duration"] = record.get("duration", 0.0)
+            events.append(
+                {
+                    "name": str(start.get("name", "span")),
+                    "cat": str(start.get("kind", "span")),
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": duration_us,
+                    "pid": sim,
+                    "tid": _tid_for(str(start.get("kind", ""))),
+                    "args": args,
+                }
+            )
+        elif event == "span_link":
+            ensure_process(sim)
+            link_id = f"{record['src_span']}->{record['dst_span']}"
+            common = {
+                "name": str(record.get("kind", "link")),
+                "cat": "span_link",
+                "id": link_id,
+                "pid": sim,
+                "tid": _tid_for("handler"),
+            }
+            events.append({**common, "ph": "s", "ts": time_us})
+            events.append(
+                {**common, "ph": "f", "bp": "e", "ts": time_us + _MIN_SLICE_US}
+            )
+        elif event == "cluster_window":
+            ensure_process(sim)
+            for field, label in _WINDOW_COUNTERS:
+                events.append(
+                    {
+                        "name": label,
+                        "cat": "cluster_window",
+                        "ph": "C",
+                        "ts": time_us,
+                        "pid": sim,
+                        "args": {label: record.get(field, 0)},
+                    }
+                )
+        elif event == "head_change":
+            ensure_process(sim)
+            events.append(
+                {
+                    "name": f"head {record.get('kind', '?')} "
+                    f"n{record.get('node', '?')}",
+                    "cat": "head_change",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": time_us,
+                    "pid": sim,
+                    "tid": _tid_for("handler"),
+                    "args": {
+                        "node": record.get("node"),
+                        "kind": record.get("kind"),
+                    },
+                }
+            )
+    if records == 0:
+        raise ValueError(f"{path}: empty trace (no records)")
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_timeline(trace_path, out_path) -> int:
+    """Export ``trace_path`` as Chrome trace JSON; returns event count."""
+    timeline = build_timeline(trace_path)
+    Path(out_path).write_text(
+        json.dumps(timeline, separators=(",", ":")) + "\n", encoding="utf-8"
+    )
+    return len(timeline["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# cProfile capture → collapsed stacks
+# ----------------------------------------------------------------------
+def _func_label(func: tuple) -> str:
+    """``file:function`` label for a pstats function key."""
+    filename, _lineno, name = func
+    if filename == "~":  # built-in: name already reads "<method ...>"
+        return name
+    return f"{Path(filename).name}:{name}"
+
+
+def profile_to_collapsed(profile) -> list[str]:
+    """Collapse a :class:`cProfile.Profile` into flamegraph input lines.
+
+    Each line is ``caller;callee <microseconds>`` (or a single frame
+    for root calls), weighting each function's *own* time across its
+    call edges in proportion to the cumulative time under each caller —
+    the two-frame approximation cProfile's caller tables support (it
+    records caller/callee pairs, not full stacks).  Lines are sorted by
+    stack name for deterministic output.
+    """
+    import pstats
+
+    stats = pstats.Stats(profile)
+    lines: dict[str, int] = {}
+    for func, (_cc, _nc, own_s, _cum_s, callers) in stats.stats.items():
+        name = _func_label(func)
+        own_us = int(own_s * _US)
+        if not callers:
+            lines[name] = lines.get(name, 0) + own_us
+            continue
+        edge_cum = {
+            caller: caller_stats[3]
+            for caller, caller_stats in callers.items()
+        }
+        total_cum = sum(edge_cum.values())
+        for caller, cum in edge_cum.items():
+            share = cum / total_cum if total_cum > 0 else 1 / len(edge_cum)
+            stack = f"{_func_label(caller)};{name}"
+            lines[stack] = lines.get(stack, 0) + int(own_us * share)
+    return [
+        f"{stack} {value}"
+        for stack, value in sorted(lines.items())
+        if value > 0
+    ]
+
+
+def write_collapsed_profile(profile, out_path) -> int:
+    """Write a profile's collapsed stacks to ``out_path``; returns lines."""
+    lines = profile_to_collapsed(profile)
+    Path(out_path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(lines)

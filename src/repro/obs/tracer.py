@@ -50,6 +50,24 @@ Event vocabulary (``TRACE_EVENTS``):
     :mod:`repro.store`): the task's content address (``key``) and
     worker function (``fn``).  Emitted outside any simulation run with
     ``t=0`` and no ``sim`` field; readers treat them as runless.
+``span_start`` / ``span_end``
+    Boundaries of one hierarchical causal span (run → phase → step →
+    handler; see :mod:`repro.obs.spans`): ``span`` id, ``name``,
+    ``kind``, optional ``parent``.  Events carrying a ``span`` field
+    (``msg_tx``, ``head_change``, ``cluster_reaffiliation``) belong to
+    that span.
+``span_link``
+    A causal edge between two spans (``src_span`` → ``dst_span``),
+    e.g. ``kind="cascade"`` from a head-merge repair to the member
+    reaffiliations it forced.
+``cluster_window``
+    One window of the cluster-dynamics time series (see
+    :mod:`repro.clustering.stability`): cluster count, head ratio,
+    head-change/reaffiliation deltas, gateway churn, mean head tenure
+    and cluster diameter over ``[window_start, t)``.
+``gateway_change``
+    A node became (``kind="add"``) or stopped being (``kind="drop"``)
+    a gateway, observed at a cluster-window boundary.
 """
 
 from __future__ import annotations
@@ -94,6 +112,11 @@ TRACE_EVENTS = frozenset(
         "cache_hit",
         "cache_miss",
         "cache_write",
+        "span_start",
+        "span_end",
+        "span_link",
+        "cluster_window",
+        "gateway_change",
     }
 )
 

@@ -283,6 +283,12 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
     attach_run_health(
         sim, maintenance, categories=tuple(health_categories)
     )
+    # Cluster-dynamics time series when the run is traced (no-op
+    # otherwise) — must attach before the run starts so window sums
+    # reconcile with trace event counts.
+    from .clustering.stability import attach_cluster_dynamics
+
+    attach_cluster_dynamics(sim, maintenance)
 
     traffic_protocol = None
     if config.flows:

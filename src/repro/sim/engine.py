@@ -36,6 +36,7 @@ import numpy as np
 from ..core.params import NetworkParameters
 from ..mobility.base import MobilityModel
 from ..obs import context as obs_context
+from ..obs.spans import SpanTracker
 from ..obs.timing import PhaseTimer, TimingReport
 from ..spatial import (
     Boundary,
@@ -197,6 +198,12 @@ class Simulation:
             self.stats = MessageStats(params.n_nodes)
         if self.tracer.enabled:
             self.stats.on_record = self._trace_msg_tx
+        #: Hierarchical causal span stack (run → phase → step →
+        #: handler) writing to the same tracer; see repro.obs.spans.
+        self.spans = SpanTracker(self.tracer, self.sim_id)
+        self._run_span_open = False
+        self._phase_span_open = False
+        self._phase_name: str | None = None
 
         self.time = 0.0
         self._protocols: list[Protocol] = []
@@ -243,14 +250,36 @@ class Simulation:
     # Telemetry
     # ------------------------------------------------------------------
     def _trace_msg_tx(self, category: str, messages: int, bits: float) -> None:
-        self.tracer.emit(
-            "msg_tx",
-            self.time,
-            sim=self.sim_id,
-            category=category,
-            messages=int(messages),
-            bits=float(bits),
-        )
+        fields = {
+            "sim": self.sim_id,
+            "category": category,
+            "messages": int(messages),
+            "bits": float(bits),
+        }
+        # Attribute the transmission to the innermost materialized span
+        # (the handler that sent it, or the phase/run otherwise).
+        span = self.spans.current
+        if span is not None:
+            fields["span"] = span
+        self.tracer.emit("msg_tx", self.time, **fields)
+
+    def _sync_phase_span(self) -> None:
+        """Keep the open ``phase`` span aligned with ``stats.measuring``.
+
+        Called at the top of each step while a run span is open: the
+        first step opens the ``warmup`` (or ``measure``) phase span,
+        and the warmup→measure transition closes one and opens the
+        other, so every step/handler span nests under the phase that
+        contains it.
+        """
+        phase = "measure" if self.stats.measuring else "warmup"
+        if self._phase_span_open and phase == self._phase_name:
+            return
+        if self._phase_span_open:
+            self.spans.end(self.time)
+        self.spans.start(phase, "phase", self.time)
+        self._phase_span_open = True
+        self._phase_name = phase
 
     def trace_run_begin(self, duration: float, warmup: float) -> None:
         """Emit the ``run_begin`` boundary event (no-op when untraced).
@@ -271,6 +300,11 @@ class Simulation:
                 warmup=float(warmup),
                 protocols=[p.name for p in self._protocols],
             )
+            # Plain "run": the sim id already labels every record's
+            # ``sim`` field, and embedding it in the name would go
+            # stale when the parallel merge remaps worker sim ids.
+            self.spans.start("run", "run", self.time)
+            self._run_span_open = True
 
     def notify_run_end(self) -> None:
         """Deliver ``on_run_end`` to every protocol, charged to its phase.
@@ -288,6 +322,13 @@ class Simulation:
     def trace_run_end(self) -> None:
         """Emit ``run_end`` with final totals (no-op when untraced)."""
         if self.tracer.enabled:
+            # Close the phase and run spans (and, defensively, any
+            # handler span a protocol left open) before the boundary
+            # event so every span_end falls inside the run's records.
+            self.spans.unwind(self.time)
+            self._run_span_open = False
+            self._phase_span_open = False
+            self._phase_name = None
             self.tracer.emit(
                 "run_end",
                 self.time,
@@ -447,6 +488,14 @@ class Simulation:
                     "link_up", self.time, sim=self.sim_id, u=int(u), v=int(v)
                 )
 
+        track_spans = tracer.enabled
+        if track_spans:
+            if self._run_span_open:
+                self._sync_phase_span()
+            # Lazy: the step span only reaches the trace if a handler
+            # span materializes inside it, so quiet steps cost nothing.
+            self.spans.start_lazy("step", "step", self.time)
+
         protocols = self._protocols
         if protocols:
             spent = [0.0] * len(protocols)
@@ -472,6 +521,9 @@ class Simulation:
                 spent[index] += perf_counter() - h0
             for protocol, seconds in zip(protocols, spent):
                 timer.add(f"protocol:{protocol.name}", seconds)
+
+        if track_spans:
+            self.spans.end(self.time)
 
         if tracer.enabled:
             tracer.emit(

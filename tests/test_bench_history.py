@@ -13,18 +13,21 @@ from repro.analysis.benchmark import (
 )
 
 
-def _payload(steps_per_sec=1000.0, mode="edge-set", n_nodes=100):
+def _payload(steps_per_sec=1000.0, mode="edge-set", n_nodes=100,
+             phases_s=None, steps=0):
+    row = {
+        "mode": mode,
+        "n_nodes": n_nodes,
+        "steps_per_sec": steps_per_sec,
+        "peak_rss_kb": 1,
+    }
+    if phases_s is not None:
+        row["phases_s"] = phases_s
+        row["steps"] = steps
     return {
         "machine": {"python": "3.x", "cpus": 8},
         "config": {"steps": 30},
-        "step_benchmarks": [
-            {
-                "mode": mode,
-                "n_nodes": n_nodes,
-                "steps_per_sec": steps_per_sec,
-                "peak_rss_kb": 1,
-            }
-        ],
+        "step_benchmarks": [row],
     }
 
 
@@ -37,6 +40,18 @@ class TestHistoryEntry:
         # ISO-8601 UTC timestamp.
         assert "T" in entry["recorded_at"]
         assert entry["recorded_at"].endswith("+00:00")
+
+    def test_phases_normalized_per_step(self):
+        entry = history_entry(
+            _payload(phases_s={"mobility": 3.0, "adjacency": 6.0}, steps=30)
+        )
+        assert entry["phases"]["edge-set:N100"] == {
+            "mobility": 0.1,
+            "adjacency": 0.2,
+        }
+
+    def test_phases_empty_without_timing_data(self):
+        assert history_entry(_payload())["phases"] == {}
 
 
 class TestUpdateBenchHistory:
@@ -91,6 +106,39 @@ class TestUpdateBenchHistory:
             update_bench_history(
                 _payload(), tmp_path / "h.jsonl", threshold=1.5
             )
+
+    def test_regression_carries_phase_attribution(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        update_bench_history(
+            _payload(1000.0, phases_s={"mobility": 1.0, "adjacency": 2.0},
+                     steps=10),
+            path,
+        )
+        _, regressions = update_bench_history(
+            _payload(500.0, phases_s={"mobility": 1.1, "adjacency": 7.0},
+                     steps=10),
+            path,
+        )
+        assert regressions
+        joined = "\n".join(regressions)
+        assert "500.0 steps/s" in regressions[0]
+        # The attribution names the phase whose per-step cost moved
+        # most (adjacency: 0.2 -> 0.7 s/step), largest delta first.
+        assert "phase adjacency" in joined
+        assert "s/step" in joined
+        adjacency_line = next(
+            line for line in regressions if "adjacency" in line
+        )
+        assert "+250.0%" in adjacency_line
+
+    def test_no_attribution_without_prior_phases(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        update_bench_history(_payload(1000.0), path)
+        _, regressions = update_bench_history(
+            _payload(500.0, phases_s={"mobility": 1.0}, steps=10), path
+        )
+        assert len(regressions) == 1
+        assert "phase" not in regressions[0]
 
 
 class TestBenchCliHistory:

@@ -172,6 +172,87 @@ class TestTelemetryMerge:
         assert phases["mobility"].calls == 10
 
 
+class TestSpanMergeDeterminism:
+    """Span ids survive the worker merge with identical structure.
+
+    Workers allocate span ids from their own process-local counters, so
+    ``merge_telemetry`` remaps them through the parent's counter exactly
+    like sim ids.  After normalizing ids by order of first appearance
+    within each run, a ``--jobs 2`` trace must carry the same span
+    content as a serial one.
+    """
+
+    _SPAN_EVENTS = (
+        "span_start",
+        "span_end",
+        "span_link",
+        "cluster_reaffiliation",
+        "head_change",
+        "cluster_window",
+        "gateway_change",
+    )
+
+    def _span_events(self, jobs):
+        from repro.obs import CollectingTracer
+
+        tracer = CollectingTracer()
+        with observe(tracer=tracer):
+            measure_point(
+                _tiny_params(), 0.15, seeds=2, duration=1.5, warmup=0.3,
+                jobs=jobs,
+            )
+        by_sim: dict[int, list[dict]] = {}
+        for record in tracer.records:
+            if record["event"] in self._SPAN_EVENTS:
+                by_sim.setdefault(record["sim"], []).append(record)
+        canonical = []
+        for records in by_sim.values():
+            local: dict[int, int] = {}
+
+            def rename(span_id):
+                if span_id not in local:
+                    local[span_id] = len(local)
+                return local[span_id]
+
+            run = []
+            for record in records:
+                fields = {}
+                for key, value in record.items():
+                    if key in ("sim", "schema"):
+                        continue
+                    if key in ("span", "parent", "src_span", "dst_span"):
+                        value = rename(value)
+                    fields[key] = value
+                run.append(tuple(sorted(fields.items())))
+            canonical.append(run)
+        return sorted(canonical)
+
+    def test_jobs2_trace_matches_serial_after_remap(self):
+        serial = self._span_events(jobs=1)
+        parallel = self._span_events(jobs=2)
+        assert serial, "no span events were traced at all"
+        assert any(
+            dict(fields)["event"] == "span_start"
+            for run in serial
+            for fields in run
+        )
+        assert serial == parallel
+
+    def test_merged_span_ids_globally_unique(self):
+        from repro.obs import CollectingTracer
+
+        tracer = CollectingTracer()
+        with observe(tracer=tracer):
+            measure_point(
+                _tiny_params(), 0.15, seeds=3, duration=1.0, warmup=0.2,
+                jobs=3,
+            )
+        starts = [r for r in tracer.records if r["event"] == "span_start"]
+        ids = [r["span"] for r in starts]
+        assert len(ids) == len(set(ids))
+        assert len({r["sim"] for r in starts}) == 3
+
+
 class TestRunHealthPropagation:
     """Workers must inherit the ambient RunHealthConfig (satellite 3)."""
 

@@ -209,3 +209,67 @@ class TestAuditCliFlags:
         assert "--sample-resources requires --trace" in (
             capsys.readouterr().err
         )
+
+
+class TestResourceSamplerDegradation:
+    """Satellite: no RSS source must not kill resource sampling."""
+
+    def test_samples_flow_with_rss_none(self, monkeypatch):
+        from repro.obs import resources
+
+        monkeypatch.setattr(resources.os.path, "exists", lambda _: False)
+        monkeypatch.setattr(resources, "current_rss_kb", lambda: None)
+        sampler = resources.ResourceSampler(interval=0.05)
+        assert sampler.rss_source == "unavailable"
+        sampler.start()
+        sampler.stop()
+        assert sampler.samples
+        for sample in sampler.samples:
+            assert sample["rss_kb"] is None
+            assert sample["cpu_s"] >= 0.0
+        summary = sampler.summary()
+        assert summary["rss_kb_max"] is None
+        assert summary["rss_kb_mean"] is None
+        assert summary["rss_source"] == "unavailable"
+
+    def test_current_rss_kb_none_when_both_sources_fail(self, monkeypatch):
+        import builtins
+
+        from repro.obs.resources import current_rss_kb
+
+        real_import = builtins.__import__
+
+        def no_resource(name, *args, **kwargs):
+            if name == "resource":
+                raise ImportError("no resource module")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(
+            "builtins.open",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("no procfs")),
+        )
+        monkeypatch.setattr(builtins, "__import__", no_resource)
+        assert current_rss_kb() is None
+
+    def test_report_renders_rss_unavailable(self, tmp_path, capsys):
+        import json as _json
+
+        from repro.cli import main
+
+        path = tmp_path / "norss.jsonl"
+        records = [
+            {"schema": 1, "event": "run_begin", "t": 0.0, "sim": 0,
+             "n_nodes": 5},
+            {"schema": 1, "event": "resource_sample", "t": 0.5, "sim": 0,
+             "wall_s": 0.5, "rss_kb": None, "cpu_s": 0.1,
+             "cpu_util": 0.4, "phases": {"mobility": 0.01}},
+            {"schema": 1, "event": "run_end", "t": 2.0, "sim": 0,
+             "measured_time": 2.0, "totals": {}},
+        ]
+        path.write_text(
+            "".join(_json.dumps(r) + "\n" for r in records)
+        )
+        code = main(["report", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RSS: unavailable on this platform" in out

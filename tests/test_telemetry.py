@@ -230,6 +230,36 @@ class TestTraceSummaryCli:
         assert main(["trace-summary", str(path)]) == 1
         assert "RECONCILIATION FAILED" in capsys.readouterr().out
 
+    def test_cli_prints_span_and_link_counts(self, params, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "spans.jsonl"
+        with JsonlTracer(path) as tracer:
+            sim = _build_stack(params, tracer=tracer)
+            sim.run(duration=2.0, warmup=0.5)
+        assert main(["trace-summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out
+        assert "causal links" in out
+        payload_code = main(["trace-summary", str(path), "--json"])
+        assert payload_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"]["started"] == payload["spans"]["ended"] > 0
+
+    def test_cli_missing_file_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["trace-summary", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_cli_malformed_trace_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("{not json}\n")
+        assert main(["trace-summary", str(path)]) == 2
+        assert "malformed trace" in capsys.readouterr().err
+
 
 class TestRunCliTelemetryFlags:
     def test_run_with_trace_and_metrics(self, tmp_path, capsys):

@@ -1,0 +1,145 @@
+"""Timeline export: Chrome trace-event JSON and collapsed profiles."""
+
+from __future__ import annotations
+
+import cProfile
+import json
+
+import pytest
+
+from repro.clustering import ClusterMaintenanceProtocol, LowestIdClustering
+from repro.mobility import EpochRandomWaypointModel
+from repro.obs import JsonlTracer, build_timeline, write_timeline
+from repro.obs.timeline import profile_to_collapsed, write_collapsed_profile
+from repro.sim import HelloProtocol, Simulation
+
+
+@pytest.fixture
+def trace_path(params, tmp_path):
+    path = tmp_path / "run.jsonl"
+    with JsonlTracer(path, step_every=5) as tracer:
+        sim = Simulation(
+            params,
+            EpochRandomWaypointModel(params.velocity, epoch=1.0),
+            seed=3,
+            tracer=tracer,
+        )
+        sim.attach(HelloProtocol(mode="event"))
+        sim.attach(ClusterMaintenanceProtocol(LowestIdClustering()))
+        sim.run(duration=3.0, warmup=1.0)
+    return path
+
+
+class TestBuildTimeline:
+    def test_valid_chrome_trace_shape(self, trace_path):
+        timeline = build_timeline(trace_path)
+        assert set(timeline) == {"traceEvents", "displayTimeUnit"}
+        events = timeline["traceEvents"]
+        assert events
+        for event in events:
+            assert "ph" in event and "name" in event
+            if event["ph"] != "M":
+                assert event["ts"] >= 0.0
+
+    def test_spans_become_complete_slices(self, trace_path):
+        events = build_timeline(trace_path)["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices
+        for s in slices:
+            assert s["dur"] >= 1.0  # zero-duration widened to minimum
+            assert s["cat"] in ("run", "phase", "step", "handler")
+            assert "span" in s["args"]
+        # The span hierarchy maps to fixed tids: run above handlers.
+        by_cat = {s["cat"]: s["tid"] for s in slices}
+        assert by_cat["run"] < by_cat["handler"]
+
+    def test_links_become_flow_pairs(self, trace_path):
+        events = build_timeline(trace_path)["traceEvents"]
+        flows_s = [e for e in events if e["ph"] == "s"]
+        flows_f = [e for e in events if e["ph"] == "f"]
+        assert len(flows_s) == len(flows_f)
+        assert {e["id"] for e in flows_s} == {e["id"] for e in flows_f}
+
+    def test_head_changes_become_instants(self, trace_path):
+        events = build_timeline(trace_path)["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants
+        assert all(e["cat"] == "head_change" for e in instants)
+
+    def test_metadata_names_process(self, trace_path):
+        events = build_timeline(trace_path)["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        assert "thread_name" in names
+
+    def test_empty_trace_raises(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            build_timeline(empty)
+
+    def test_write_timeline_is_loadable_json(self, trace_path, tmp_path):
+        out = tmp_path / "timeline.json"
+        count = write_timeline(trace_path, out)
+        loaded = json.loads(out.read_text())
+        assert len(loaded["traceEvents"]) == count
+
+    def test_unmatched_span_end_skipped(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        records = [
+            {"schema": 1, "event": "run_begin", "t": 0.0, "sim": 0,
+             "n_nodes": 4},
+            {"schema": 1, "event": "span_end", "t": 1.0, "sim": 0,
+             "span": 999, "name": "lost", "kind": "handler",
+             "duration": 1.0},
+        ]
+        path.write_text(
+            "\n".join(json.dumps(r) for r in records) + "\n"
+        )
+        events = build_timeline(path)["traceEvents"]
+        assert not [e for e in events if e["ph"] == "X"]
+
+
+class TestCollapsedProfile:
+    def _profile(self):
+        def leaf():
+            return sum(range(2000))
+
+        def trunk():
+            return [leaf() for _ in range(50)]
+
+        profile = cProfile.Profile()
+        profile.enable()
+        trunk()
+        profile.disable()
+        return profile
+
+    def test_collapsed_lines_are_semicolon_stacks(self):
+        lines = profile_to_collapsed(self._profile())
+        assert lines
+        for line in lines:
+            stack, _, value = line.rpartition(" ")
+            assert stack
+            assert int(value) > 0
+        joined = "\n".join(lines)
+        assert "leaf" in joined
+        assert "trunk" in joined
+
+    def test_caller_edges_present(self):
+        lines = profile_to_collapsed(self._profile())
+        assert any(
+            ";" in line.rpartition(" ")[0] and "leaf" in line
+            for line in lines
+        )
+
+    def test_output_is_deterministic_order(self):
+        lines = profile_to_collapsed(self._profile())
+        stacks = [line.rpartition(" ")[0] for line in lines]
+        assert stacks == sorted(stacks)
+
+    def test_write_collapsed_profile(self, tmp_path):
+        out = tmp_path / "profile.collapsed"
+        count = write_collapsed_profile(self._profile(), out)
+        written = out.read_text().strip().splitlines()
+        assert len(written) == count
