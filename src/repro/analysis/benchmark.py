@@ -3,11 +3,17 @@
 ``repro-manet bench`` drives this module and writes ``BENCH_engine.json``.
 It answers three questions about the simulation substrate:
 
-* **How much faster is the edge-set core?**  The baseline re-implements
-  the pre-edge-set kernel inline — per-step dense ``O(N^2)`` adjacency
-  recomputation plus matrix diffing, exactly the work the seed engine
-  did — and both paths run the same mobility model with the same seeds,
-  so the steps/sec ratio isolates the connectivity representation.
+* **How much faster is each connectivity kernel?**  The dense baseline
+  re-implements the pre-edge-set kernel inline — per-step dense
+  ``O(N^2)`` adjacency recomputation plus matrix diffing, exactly the
+  work the seed engine did.  The edge engine runs the batch edge-set
+  core, and the incremental engine runs the temporal-coherence kernel
+  (:mod:`repro.spatial.incremental`).  All paths run the same mobility
+  model with the same seeds, so the steps/sec ratios isolate the
+  connectivity representation.  Each incremental row is preceded by an
+  **equivalence check** — a short dual-engine run asserting identical
+  per-step edge sets and link events — so a speedup number is never
+  reported for a kernel that silently diverged.
 * **Where is the dense/grid crossover?**  ``--crossover`` times
   :func:`~repro.spatial.neighbors.compute_edges` under both methods
   across sizes; the measured ratio table is the evidence behind
@@ -56,8 +62,10 @@ from ..spatial import Boundary, SquareRegion, compute_edges, diff_adjacency
 
 __all__ = [
     "DEFAULT_SIZES",
+    "DEFAULT_MODES",
     "DEFAULT_REGRESSION_THRESHOLD",
     "bench_step_modes",
+    "check_equivalence",
     "measure_crossover",
     "bench_parallel_sweep",
     "run_bench",
@@ -78,6 +86,21 @@ DEFAULT_SIZES = (100, 500, 2000, 5000)
 #: Dense baseline is skipped above this size by default: the O(N^2)
 #: kernel needs ~minutes per point there, and the trend is long clear.
 DEFAULT_DENSE_LIMIT = 2000
+
+#: Kernel modes the step benchmark runs, in reporting order.  Tokens
+#: are the ``--modes`` CLI vocabulary; labels are the ``mode`` field in
+#: result rows and history points.
+DEFAULT_MODES = ("edge", "incremental", "dense")
+
+_MODE_LABELS = {
+    "edge": "edge-engine",
+    "incremental": "incremental-engine",
+    "dense": "dense-baseline",
+}
+
+#: speedup-table marker: the point was skipped on purpose, not lost.
+SKIPPED_DENSE_LIMIT = "skipped (dense_limit)"
+SKIPPED_MODE = "skipped (mode not run)"
 
 
 def _peak_rss_kb() -> int:
@@ -134,9 +157,20 @@ def _bench_edge_engine(
     params: NetworkParameters,
     steps: int,
     seed: int = 0,
-    connectivity: str = "auto",
+    connectivity: str | None = None,
 ) -> dict:
-    """The live engine: edge-set state through :meth:`Simulation.step`."""
+    """The batch edge-set engine through :meth:`Simulation.step`.
+
+    Pinned to the mobility-blind dense/grid selection (``auto`` would
+    resolve to the incremental engine for large sparse networks, which
+    has its own benchmark mode).
+    """
+    from ..spatial import select_connectivity_method
+
+    if connectivity is None:
+        connectivity = select_connectivity_method(
+            params.n_nodes, params.tx_range, params.side
+        )
     timer = PhaseTimer()
     sim = Simulation(
         params,
@@ -161,32 +195,165 @@ def _bench_edge_engine(
     }
 
 
+def _bench_incremental_engine(
+    params: NetworkParameters, steps: int, seed: int = 0
+) -> dict:
+    """The temporal-coherence kernel, forced on regardless of auto."""
+    timer = PhaseTimer()
+    sim = Simulation(
+        params,
+        EpochRandomWaypointModel(params.velocity, epoch=1.0),
+        seed=seed,
+        timer=timer,
+        connectivity="incremental",
+    )
+    start = perf_counter()
+    for _ in range(steps):
+        sim.step()
+    elapsed = perf_counter() - start
+    engine = sim._incremental
+    return {
+        "mode": "incremental-engine",
+        "n_nodes": params.n_nodes,
+        "connectivity": sim.connectivity,
+        "steps": steps,
+        "elapsed_s": elapsed,
+        "steps_per_sec": steps / elapsed,
+        "phases_s": _phase_dict(timer),
+        "peak_rss_kb": _peak_rss_kb(),
+        "engine_stats": {
+            "full_rebuilds": engine.full_rebuilds,
+            "incremental_steps": engine.incremental_steps,
+            "mean_at_risk": (
+                engine.at_risk_total / engine.incremental_steps
+                if engine.incremental_steps
+                else 0.0
+            ),
+        },
+    }
+
+
+def check_equivalence(
+    params: NetworkParameters, steps: int = 10, seed: int = 0
+) -> str:
+    """Run the incremental engine against a reference engine in lockstep.
+
+    The reference is whatever the mobility-blind selection (dense or
+    grid) picks for this size — both of those are themselves pinned
+    equal by the test suite.  Compares the sorted edge set and the link
+    events after every step; returns ``"ok"`` or a description of the
+    first mismatch.
+    """
+    from ..spatial import select_connectivity_method
+
+    reference = select_connectivity_method(
+        params.n_nodes, params.tx_range, params.side
+    )
+    sims = [
+        Simulation(
+            params,
+            EpochRandomWaypointModel(params.velocity, epoch=1.0),
+            seed=seed,
+            connectivity=connectivity,
+        )
+        for connectivity in ("incremental", reference)
+    ]
+    if not np.array_equal(sims[0].edges, sims[1].edges):
+        return f"initial edge sets differ (vs {reference})"
+    for step in range(1, steps + 1):
+        events = [sim.step() for sim in sims]
+        if not np.array_equal(sims[0].edges, sims[1].edges):
+            return f"edge sets differ at step {step} (vs {reference})"
+        for field in ("generated", "broken"):
+            if not np.array_equal(
+                getattr(events[0], field), getattr(events[1], field)
+            ):
+                return (
+                    f"{field} link events differ at step {step} "
+                    f"(vs {reference})"
+                )
+    return "ok"
+
+
 def bench_step_modes(
     sizes=DEFAULT_SIZES,
     steps: int = 30,
     dense_limit: int = DEFAULT_DENSE_LIMIT,
-) -> tuple[list[dict], dict[str, float | None]]:
-    """Benchmark both kernels across ``sizes``.
+    modes=DEFAULT_MODES,
+) -> tuple[list[dict], dict[str, dict]]:
+    """Benchmark the requested kernels across ``sizes``.
 
-    Returns ``(results, speedups)`` where ``speedups[str(N)]`` is the
-    edge-engine steps/sec over the dense baseline's (``None`` when the
-    baseline was skipped at that size).
+    Returns ``(results, tables)``.  ``tables`` holds three per-size
+    maps keyed by ``str(N)``:
+
+    * ``"speedup_vs_dense"`` — mode steps/sec over the dense
+      baseline's, per mode label; skipped points carry an explicit
+      string marker (:data:`SKIPPED_DENSE_LIMIT` above ``dense_limit``,
+      :data:`SKIPPED_MODE` when the mode wasn't requested) so no row is
+      ever silently ``null``.
+    * ``"speedup_vs_edge"`` — same shape relative to the edge engine;
+      defined at every size the edge engine ran, which is how large-N
+      rows keep a numeric speedup even where dense is skipped.
+    * ``"equivalence"`` — the :func:`check_equivalence` verdict for the
+      incremental engine at that size (``"ok"`` or a mismatch string).
     """
+    unknown = [m for m in modes if m not in _MODE_LABELS]
+    if unknown:
+        raise ValueError(
+            f"unknown bench modes {unknown}; "
+            f"choose from {sorted(_MODE_LABELS)}"
+        )
     results: list[dict] = []
-    speedups: dict[str, float | None] = {}
+    speedup_vs_dense: dict[str, dict[str, float | str]] = {}
+    speedup_vs_edge: dict[str, dict[str, float | str]] = {}
+    equivalence: dict[str, str] = {}
     for n_nodes in sorted(sizes):
         params = _params_for(n_nodes)
-        edge = _bench_edge_engine(params, steps)
-        results.append(edge)
-        if n_nodes <= dense_limit:
-            dense = _bench_dense_baseline(params, steps)
-            results.append(dense)
-            speedups[str(n_nodes)] = (
-                edge["steps_per_sec"] / dense["steps_per_sec"]
+        per_size: dict[str, dict] = {}
+        if "edge" in modes:
+            per_size["edge"] = _bench_edge_engine(params, steps)
+        if "incremental" in modes:
+            equivalence[str(n_nodes)] = check_equivalence(params)
+            per_size["incremental"] = _bench_incremental_engine(
+                params, steps
             )
-        else:
-            speedups[str(n_nodes)] = None
-    return results, speedups
+        dense_skipped = n_nodes > dense_limit
+        if "dense" in modes and not dense_skipped:
+            per_size["dense"] = _bench_dense_baseline(params, steps)
+        results.extend(
+            per_size[m] for m in DEFAULT_MODES if m in per_size
+        )
+
+        def _ratios(baseline_token: str, skip_marker: str) -> dict:
+            baseline = per_size.get(baseline_token)
+            table: dict[str, float | str] = {}
+            for token in modes:
+                if token == baseline_token:
+                    continue
+                label = _MODE_LABELS[token]
+                row = per_size.get(token)
+                if row is None:
+                    table[label] = SKIPPED_MODE
+                elif baseline is None:
+                    table[label] = skip_marker
+                else:
+                    table[label] = (
+                        row["steps_per_sec"] / baseline["steps_per_sec"]
+                    )
+            return table
+
+        if "dense" in modes:
+            speedup_vs_dense[str(n_nodes)] = _ratios(
+                "dense", SKIPPED_DENSE_LIMIT
+            )
+        if "edge" in modes:
+            speedup_vs_edge[str(n_nodes)] = _ratios("edge", SKIPPED_MODE)
+    tables = {
+        "speedup_vs_dense": speedup_vs_dense,
+        "speedup_vs_edge": speedup_vs_edge,
+        "equivalence": equivalence,
+    }
+    return results, tables
 
 
 def measure_crossover(
@@ -231,7 +398,10 @@ def bench_parallel_sweep(
 
     The per-seed work and results are identical across rows (the runner
     is deterministic), so the wall-clock ratio is pure scheduling.
+    ``chunk_size`` records how many tasks each worker dispatch carried
+    (the amortization knob of :func:`repro.analysis.parallel.run_tasks`).
     """
+    from .parallel import task_chunk_size
     from .sweep import measure_point
 
     params = _params_for(n_nodes)
@@ -253,6 +423,7 @@ def bench_parallel_sweep(
         rows.append(
             {
                 "jobs": jobs,
+                "chunk_size": task_chunk_size(seeds, jobs),
                 "wall_s": elapsed,
                 "vs_serial": None if serial_s is None else elapsed / serial_s,
             }
@@ -271,12 +442,13 @@ def run_bench(
     dense_limit: int = DEFAULT_DENSE_LIMIT,
     crossover: bool = False,
     sweep_jobs=None,
+    modes=DEFAULT_MODES,
 ) -> dict:
     """Run the requested benchmark stages and assemble the report."""
     import os
 
     payload: dict = {
-        "schema_version": 1,
+        "schema_version": 2,
         "machine": {
             "platform": platform.platform(),
             "python": sys.version.split()[0],
@@ -287,19 +459,24 @@ def run_bench(
             "sizes": list(sizes),
             "steps": steps,
             "dense_limit": dense_limit,
+            "modes": list(modes),
         },
         "notes": [
             "dense-baseline re-implements the pre-edge-set kernel "
             "(per-step O(N^2) adjacency + matrix diff) inline",
+            "incremental-engine rows are preceded by a dual-engine "
+            "equivalence check (see the equivalence table)",
             "peak_rss_kb is process-monotone (getrusage); modes run "
             "smallest-N-first",
         ],
     }
     sampler = ResourceSampler(interval=0.2)
     with sampler:
-        results, speedups = bench_step_modes(sizes, steps, dense_limit)
+        results, tables = bench_step_modes(
+            sizes, steps, dense_limit, modes
+        )
         payload["step_benchmarks"] = results
-        payload["speedup_vs_dense"] = speedups
+        payload.update(tables)
         if crossover:
             payload["crossover"] = measure_crossover()
         if sweep_jobs:

@@ -43,9 +43,11 @@ are silently run uncached — the store can never break a run.
 
 from __future__ import annotations
 
+import atexit
 import logging
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Callable, Iterable, Sequence
@@ -57,7 +59,7 @@ from ..obs.tracer import NULL_TRACER, CollectingTracer
 from ..store import MISS, FingerprintError, fingerprint, task_identity
 from ..store import context as store_context
 
-__all__ = ["TaskTelemetry", "resolve_jobs", "run_tasks"]
+__all__ = ["TaskTelemetry", "resolve_jobs", "run_tasks", "task_chunk_size"]
 
 logger = logging.getLogger(__name__)
 
@@ -72,6 +74,10 @@ class TaskTelemetry:
     phases: list[tuple[str, float, int]] = field(default_factory=list)
     #: Metrics registry snapshot (:meth:`MetricsRegistry.to_dict`).
     metrics: dict = field(default_factory=dict)
+    #: How many tasks rode in the worker submission that ran this task
+    #: (1 for serial runs); surfaced so sweeps can verify that worker
+    #: batching actually amortized the spawn/IPC overhead.
+    chunk_size: int = 1
 
 
 def resolve_jobs(jobs: int | None, n_tasks: int) -> int:
@@ -87,6 +93,16 @@ def resolve_jobs(jobs: int | None, n_tasks: int) -> int:
     if jobs == 0:
         jobs = os.cpu_count() or 1
     return max(1, min(jobs, n_tasks))
+
+
+def task_chunk_size(n_tasks: int, jobs: int) -> int:
+    """Tasks batched per worker submission.
+
+    ~4 chunks per worker keeps the pool load-balanced while amortizing
+    the pickle/dispatch overhead that made fine-grained submissions
+    slower than serial execution on small sweeps.
+    """
+    return max(1, n_tasks // (4 * jobs))
 
 
 def _emit_cache_event(
@@ -108,35 +124,78 @@ def _fn_path(fn: Callable) -> str:
     return f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', '?')}"
 
 
-def _run_captured(payload: tuple[Callable[[Any], Any], Any, bool, Any, Any]):
-    """Worker entry: run one task under a local observability context."""
-    fn, task, capture_trace, health, stored = payload
-    tracer = CollectingTracer() if capture_trace else NULL_TRACER
-    registry = MetricsRegistry()
-    timer = PhaseTimer()
-    # The parent's run-health configuration rides along so a --jobs > 1
-    # traced run carries the same invariant_audit/residual events (and
-    # the same strict-mode behavior) as a serial one.
-    with obs_context.observe(
-        tracer=tracer, registry=registry, timer=timer, health=health
-    ) as context:
-        started = perf_counter()
-        result = fn(task)
-        if stored is not None:
-            # Workers write their own records the moment the task
-            # completes: an interrupted parent loses nothing already
-            # simulated, and the atomic rename makes concurrent writers
-            # of the same key harmless.
-            store, key, identity = stored
-            store.put(key, identity, result, perf_counter() - started)
-            _emit_cache_event(context, "cache_write", key, _fn_path(fn))
-    report = timer.report()
-    telemetry = TaskTelemetry(
-        records=tracer.records if capture_trace else [],
-        phases=[(p.phase, p.seconds, p.calls) for p in report.phases],
-        metrics=registry.to_dict(),
-    )
-    return result, telemetry
+def _run_captured(
+    payload: tuple[Callable[[Any], Any], Sequence[Any], bool, Any, Sequence[Any]]
+):
+    """Worker entry: run one *chunk* of tasks, each under a local context.
+
+    Tasks are batched per submission so the process spawn and pickle
+    round-trip amortize over ``chunk_size`` tasks instead of being paid
+    per task (the dominant cost of small sweeps).  Each task still gets
+    its own observability context, so the per-task telemetry the parent
+    merges is identical to what single-task submissions produced.
+    """
+    fn, chunk, capture_trace, health, stored_entries = payload
+    outcomes = []
+    for task, stored in zip(chunk, stored_entries):
+        tracer = CollectingTracer() if capture_trace else NULL_TRACER
+        registry = MetricsRegistry()
+        timer = PhaseTimer()
+        # The parent's run-health configuration rides along so a
+        # --jobs > 1 traced run carries the same invariant_audit/residual
+        # events (and the same strict-mode behavior) as a serial one.
+        with obs_context.observe(
+            tracer=tracer, registry=registry, timer=timer, health=health
+        ) as context:
+            started = perf_counter()
+            result = fn(task)
+            if stored is not None:
+                # Workers write their own records the moment the task
+                # completes: an interrupted parent loses nothing already
+                # simulated, and the atomic rename makes concurrent
+                # writers of the same key harmless.
+                store, key, identity = stored
+                store.put(key, identity, result, perf_counter() - started)
+                _emit_cache_event(context, "cache_write", key, _fn_path(fn))
+        report = timer.report()
+        telemetry = TaskTelemetry(
+            records=tracer.records if capture_trace else [],
+            phases=[(p.phase, p.seconds, p.calls) for p in report.phases],
+            metrics=registry.to_dict(),
+            chunk_size=len(chunk),
+        )
+        outcomes.append((result, telemetry))
+    return outcomes
+
+
+# ---------------------------------------------------------------------
+# One process pool is reused across run_tasks calls (and therefore
+# across the points of a sweep): worker startup re-imports numpy and the
+# package, which dominated small sweeps when a fresh pool was created
+# per call.  The pool is keyed by worker count and torn down at exit.
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+
+
+def _shared_pool(max_workers: int) -> ProcessPoolExecutor:
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS != max_workers:
+        _POOL.shutdown(wait=False)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=max_workers)
+        _POOL_WORKERS = max_workers
+    return _POOL
+
+
+def _discard_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=False)
+        _POOL = None
+
+
+atexit.register(_discard_pool)
 
 
 def _fresh_sim_id() -> int:
@@ -199,6 +258,9 @@ def merge_telemetry(
             context.timer.add(phase, seconds, calls=calls)
     if context.registry is not None:
         registry = context.registry
+        # Surface the worker batching factor so traced sweeps can check
+        # that chunking engaged (1 = unbatched/serial-equivalent).
+        registry.gauge("worker_chunk_size").set(telemetry.chunk_size)
         for row in telemetry.metrics.get("counters", ()):
             labels = dict(row["labels"])
             if "sim" in labels:
@@ -311,21 +373,38 @@ def run_tasks(
                 )
         return results
     capture_trace = context.tracer.enabled
+    chunk_size = task_chunk_size(len(pending), jobs)
+    chunks = [
+        pending[at : at + chunk_size]
+        for at in range(0, len(pending), chunk_size)
+    ]
     payloads = [
         (
             fn,
-            task_list[index],
+            [task_list[index] for index in chunk],
             capture_trace,
             context.health,
-            (store, *keyed[index]) if keyed[index] is not None else None,
+            [
+                (store, *keyed[index]) if keyed[index] is not None else None
+                for index in chunk
+            ],
         )
-        for index in pending
+        for chunk in chunks
     ]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        outcomes = list(pool.map(_run_captured, payloads))
-    for index, (result, telemetry) in zip(pending, outcomes):
-        merge_telemetry(telemetry, context)
-        results[index] = result
-        if store is not None and keyed[index] is not None:
-            store.writes += 1
+    pool = _shared_pool(jobs)
+    try:
+        chunk_outcomes = list(pool.map(_run_captured, payloads))
+    except BrokenProcessPool:
+        # A dead worker poisons the whole pool; discard it so the next
+        # call starts from a healthy one.
+        _discard_pool()
+        raise
+    # Chunks preserve pending order, so merging chunk by chunk keeps
+    # telemetry in task order exactly as unchunked submission did.
+    for chunk, outcomes in zip(chunks, chunk_outcomes):
+        for index, (result, telemetry) in zip(chunk, outcomes):
+            merge_telemetry(telemetry, context)
+            results[index] = result
+            if store is not None and keyed[index] is not None:
+                store.writes += 1
     return results

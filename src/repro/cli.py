@@ -43,7 +43,9 @@ attaches the P1/P2 invariant auditor and the analytic-residual monitor
 trace.  ``bench --history FILE`` appends steps/sec results to a JSONL
 history and exits 1 when a point regresses more than the threshold
 against the best prior entry (regressions come with a per-phase
-attribution table when phase data is available).
+attribution table when phase data is available).  ``bench --modes``
+picks which kernels run; whenever the incremental engine is among
+them, its dual-engine equivalence check gates the exit code too.
 
 Timeline tooling (see README, "Timelines & run comparison"):
 ``timeline`` exports a trace as Chrome trace-event JSON for
@@ -464,6 +466,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation steps per (size, mode) point (default 30)",
     )
     bench.add_argument(
+        "--modes",
+        default="edge,incremental,dense",
+        metavar="M1,M2",
+        help=(
+            "comma-separated kernels to benchmark: edge, incremental, "
+            "dense (default: all three)"
+        ),
+    )
+    bench.add_argument(
         "--dense-limit",
         type=int,
         default=2000,
@@ -604,8 +615,19 @@ def _run_sweep(args) -> int:
 
 
 def _run_bench(args) -> int:
-    from .analysis.benchmark import run_bench, write_bench
+    from .analysis.benchmark import DEFAULT_MODES, run_bench, write_bench
 
+    modes = tuple(
+        token.strip() for token in args.modes.split(",") if token.strip()
+    )
+    unknown = [token for token in modes if token not in DEFAULT_MODES]
+    if unknown:
+        raise _CliError(
+            f"unknown bench modes {','.join(unknown)!r}; "
+            f"choose from {','.join(DEFAULT_MODES)}"
+        )
+    if not modes:
+        raise _CliError("no bench modes given")
     try:
         sizes = [int(v) for v in args.sizes.split(",") if v.strip()]
         sweep_jobs = (
@@ -625,18 +647,35 @@ def _run_bench(args) -> int:
         dense_limit=args.dense_limit,
         crossover=args.crossover,
         sweep_jobs=sweep_jobs,
+        modes=modes,
     )
     path = write_bench(payload, args.out)
     print(f"benchmark report written to {path}")
     for row in payload["step_benchmarks"]:
         print(
-            f"  N={row['n_nodes']:>5d}  {row['mode']:<14s} "
+            f"  N={row['n_nodes']:>5d}  {row['mode']:<18s} "
             f"{row['steps_per_sec']:>10.1f} steps/s  "
             f"peak RSS {row['peak_rss_kb'] / 1024:.0f} MiB"
         )
-    for size, speedup in payload["speedup_vs_dense"].items():
-        if speedup is not None:
-            print(f"  N={size:>5s}  edge-engine speedup {speedup:.1f}x")
+    for baseline, table in (
+        ("dense", payload.get("speedup_vs_dense", {})),
+        ("edge", payload.get("speedup_vs_edge", {})),
+    ):
+        for size, per_mode in table.items():
+            for mode, speedup in per_mode.items():
+                text = (
+                    f"{speedup:.1f}x"
+                    if isinstance(speedup, float)
+                    else speedup
+                )
+                print(f"  N={size:>5s}  {mode} vs {baseline}: {text}")
+    violations = [
+        f"  N={size:>5s}  incremental-engine equivalence: {verdict}"
+        for size, verdict in payload.get("equivalence", {}).items()
+        if verdict != "ok"
+    ]
+    for line in violations:
+        print(f"EQUIVALENCE VIOLATION{line}", file=sys.stderr)
     resources = payload.get("resources") or {}
     if resources.get("samples"):
         rss_max = resources.get("rss_kb_max")
@@ -665,7 +704,9 @@ def _run_bench(args) -> int:
             for line in regressions:
                 print(f"  REGRESSION {line}", file=sys.stderr)
             return 1
-    return 0
+    # Equivalence violations gate after the history append so the run
+    # is still recorded as evidence.
+    return 1 if violations else 0
 
 
 def _run_trace_summary(args) -> int:

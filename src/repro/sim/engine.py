@@ -40,6 +40,7 @@ from ..obs.spans import SpanTracker
 from ..obs.timing import PhaseTimer, TimingReport
 from ..spatial import (
     Boundary,
+    IncrementalConnectivityEngine,
     LinkEvents,
     SquareRegion,
     UniformGridIndex,
@@ -150,10 +151,12 @@ class Simulation:
     connectivity:
         How the per-step edge set is computed: ``"auto"`` (default)
         lets the measured cost model pick, ``"grid"`` forces the
-        uniform grid index, ``"dense"`` forces the dense metric.  All
-        methods produce identical edge sets; the knob exists for
-        benchmarking and for densities where the model's assumptions
-        break down.
+        uniform grid index, ``"dense"`` forces the dense metric, and
+        ``"incremental"`` forces the temporal-coherence engine
+        (:class:`~repro.spatial.IncrementalConnectivityEngine`).  All
+        methods produce identical edge sets and link events; the knob
+        exists for benchmarking and for densities where the model's
+        assumptions break down.
     """
 
     _instance_ids = itertools.count()
@@ -211,29 +214,44 @@ class Simulation:
         self.mobility.reset(params.n_nodes, self.region, seed)
         if connectivity == "auto":
             connectivity = select_connectivity_method(
-                params.n_nodes, params.tx_range, self.region.side
+                params.n_nodes,
+                params.tx_range,
+                self.region.side,
+                velocity=params.velocity,
+                dt=self.dt,
             )
-        if connectivity not in ("dense", "grid"):
+        if connectivity not in ("dense", "grid", "incremental"):
             raise ValueError(
-                "connectivity must be 'auto', 'dense' or 'grid', got "
-                f"{connectivity!r}"
+                "connectivity must be 'auto', 'dense', 'grid' or "
+                f"'incremental', got {connectivity!r}"
             )
         self.connectivity = connectivity
         self._index: UniformGridIndex | None = None
+        self._incremental: IncrementalConnectivityEngine | None = None
         if connectivity == "grid":
             self._index = UniformGridIndex(self.region, params.tx_range)
+        elif connectivity == "incremental":
+            self._incremental = IncrementalConnectivityEngine(
+                self.region, params.tx_range
+            )
         #: Radio state per node; failed nodes keep moving but hold no links.
         self.active = np.ones(params.n_nodes, dtype=bool)
+        #: Whether every radio was active at the end of the previous
+        #: step; the incremental fast-path events are only valid when no
+        #: external masking happened on either side of the diff.
+        self._prev_all_active = True
         #: Primary connectivity state: sorted (E, 2) edge array, i < j.
-        self.edges = self._mask_failed(
-            compute_edges(
+        if self._incremental is not None:
+            initial = self._incremental.step(self.mobility.positions).edges
+        else:
+            initial = compute_edges(
                 self.region,
                 self.mobility.positions,
                 params.tx_range,
                 self._index,
                 method=connectivity,
             )
-        )
+        self.edges = self._mask_failed(initial)
         self._adjacency_cache: np.ndarray | None = None
         logger.debug(
             "sim %d: N=%d side=%.4g r=%.4g v=%.4g dt=%.4g seed=%s",
@@ -431,10 +449,14 @@ class Simulation:
         special crash handling is required of them.
         """
         self.active[node] = False
+        if self._incremental is not None:
+            self._incremental.invalidate()
 
     def recover_node(self, node: int) -> None:
         """Bring ``node``'s radio back; links re-form at the next step."""
         self.active[node] = True
+        if self._incremental is not None:
+            self._incremental.invalidate()
 
     @property
     def failed_nodes(self) -> np.ndarray:
@@ -457,21 +479,48 @@ class Simulation:
         t0 = perf_counter()
         positions = self.mobility.advance(self.dt)
         t1 = perf_counter()
-        new_edges = self._mask_failed(
-            compute_edges(
-                self.region,
-                positions,
-                self.params.tx_range,
-                self._index,
-                method=self.connectivity,
+        all_active = bool(self.active.all())
+        if self._incremental is not None:
+            result = self._incremental.step(positions)
+            new_edges = self._mask_failed(result.edges)
+            t2 = perf_counter()
+            # The engine's mask-diff events describe the *unmasked*
+            # connectivity; they stand in for diff_edge_sets only while
+            # no radio was failed on either side of the diff.
+            if (
+                result.events is not None
+                and all_active
+                and self._prev_all_active
+            ):
+                events = result.events
+            else:
+                events = diff_edge_sets(self.edges, new_edges)
+            t3 = perf_counter()
+            # Keep the sub-phases disjoint: "adjacency" is the engine
+            # step minus the revalidation portion, which gets its own
+            # label so the attribution stays honest.
+            timer.add("adjacency", (t2 - t1) - result.revalidate_seconds)
+            if not result.rebuilt:
+                timer.add(
+                    "incremental_revalidate", result.revalidate_seconds
+                )
+        else:
+            new_edges = self._mask_failed(
+                compute_edges(
+                    self.region,
+                    positions,
+                    self.params.tx_range,
+                    self._index,
+                    method=self.connectivity,
+                )
             )
-        )
-        t2 = perf_counter()
-        events = diff_edge_sets(self.edges, new_edges)
-        t3 = perf_counter()
+            t2 = perf_counter()
+            events = diff_edge_sets(self.edges, new_edges)
+            t3 = perf_counter()
+            timer.add("adjacency", t2 - t1)
         timer.add("mobility", t1 - t0)
-        timer.add("adjacency", t2 - t1)
         timer.add("link_diff", t3 - t2)
+        self._prev_all_active = all_active
         self.edges = new_edges
         self._adjacency_cache = None
         self.time += self.dt

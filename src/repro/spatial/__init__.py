@@ -2,8 +2,11 @@
 
 from .region import Boundary, SquareRegion
 from .grid_index import UniformGridIndex
+from .incremental import IncrementalConnectivityEngine, IncrementalStepResult
 from .neighbors import (
     GRID_CROSSOVER_NODES,
+    INCREMENTAL_MARGIN_FRACTION,
+    INCREMENTAL_MIN_AMORTIZED_STEPS,
     LinkEvents,
     adjacency_to_edges,
     compute_adjacency,
@@ -20,7 +23,11 @@ __all__ = [
     "Boundary",
     "SquareRegion",
     "UniformGridIndex",
+    "IncrementalConnectivityEngine",
+    "IncrementalStepResult",
     "GRID_CROSSOVER_NODES",
+    "INCREMENTAL_MARGIN_FRACTION",
+    "INCREMENTAL_MIN_AMORTIZED_STEPS",
     "LinkEvents",
     "adjacency_to_edges",
     "compute_adjacency",

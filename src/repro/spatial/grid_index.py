@@ -78,27 +78,91 @@ class UniformGridIndex:
         self._flat: np.ndarray | None = None
         self._order: np.ndarray | None = None
         self._start: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._sortkey: np.ndarray | None = None
         self._buckets: dict[tuple[int, int], np.ndarray] | None = None
 
     # ------------------------------------------------------------------
+    def _bin(self, pos: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Cell coordinates and flat cell ids for ``pos`` (shared by
+        rebuild and update so both paths bin identically)."""
+        cells = np.floor(pos / self.cell_size).astype(np.int64)
+        np.clip(cells, 0, self.cells_per_side - 1, out=cells)
+        return cells, cells[:, 0] * self.cells_per_side + cells[:, 1]
+
     def rebuild(self, positions: np.ndarray) -> None:
         """(Re)index the given positions."""
         pos = np.asarray(positions, dtype=float)
         if pos.ndim != 2 or pos.shape[1] != 2:
             raise ValueError(f"positions must be (N, 2), got shape {pos.shape}")
         self._positions = pos
-        cells = np.floor(pos / self.cell_size).astype(np.int64)
-        np.clip(cells, 0, self.cells_per_side - 1, out=cells)
+        cells, flat = self._bin(pos)
         self._cell_of = cells
-        flat = cells[:, 0] * self.cells_per_side + cells[:, 1]
         self._flat = flat
         self._order = np.argsort(flat, kind="stable")
-        counts = np.bincount(flat, minlength=self.cells_per_side**2)
-        self._start = np.concatenate(([0], np.cumsum(counts)))
+        self._counts = np.bincount(flat, minlength=self.cells_per_side**2)
+        self._start = np.concatenate(([0], np.cumsum(self._counts)))
+        # Stable argsort of flat == sort by (cell, node id); keeping the
+        # composite key lets update() repair the order by sorted merge.
+        self._sortkey = flat[self._order] * np.int64(len(pos)) + self._order
         # Per-cell buckets are only needed by single-node queries; they
         # are materialized lazily so bulk rebuild+pair sweeps skip the
         # per-cell Python loop entirely.
         self._buckets = None
+
+    def update(self, positions: np.ndarray) -> int:
+        """Incrementally re-index, re-binning only nodes that changed cell.
+
+        With displacement-bounded mobility almost every node stays in
+        its cell between steps, so instead of a fresh counting sort the
+        moved nodes are dropped from the sorted order and merged back at
+        their new ``(cell, id)`` rank — ``O(N + moved log moved)`` with
+        the ``O(N log N)`` argsort skipped entirely.  Falls back to
+        :meth:`rebuild` on first use, when the node count changes, or
+        when more than a quarter of the nodes moved cell (at that churn
+        the merge repair costs more than the counting sort it avoids).
+
+        Returns the number of nodes whose cell changed.  The resulting
+        index state is bit-identical to a :meth:`rebuild` at the same
+        positions; tests enforce this.
+        """
+        pos = np.asarray(positions, dtype=float)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError(f"positions must be (N, 2), got shape {pos.shape}")
+        if self._flat is None or len(pos) != len(self._flat):
+            self.rebuild(pos)
+            return len(pos)
+        n = len(pos)
+        cells, flat = self._bin(pos)
+        changed = np.flatnonzero(flat != self._flat)
+        self._positions = pos
+        if changed.size == 0:
+            self._cell_of = cells
+            return 0
+        if changed.size * 4 > n:
+            self.rebuild(pos)
+            return int(changed.size)
+        ncells = self.cells_per_side**2
+        self._counts -= np.bincount(self._flat[changed], minlength=ncells)
+        self._counts += np.bincount(flat[changed], minlength=ncells)
+        self._start = np.concatenate(([0], np.cumsum(self._counts)))
+        # Merge repair: strip the moved nodes out of the sorted order,
+        # then insert them back at their new composite-key rank.
+        moved = np.zeros(n, dtype=bool)
+        moved[changed] = True
+        keep = ~moved[self._order]
+        base_order = self._order[keep]
+        base_keys = self._sortkey[keep]
+        ins_keys = flat[changed] * np.int64(n) + changed
+        ins_sort = np.argsort(ins_keys)
+        ins_keys = ins_keys[ins_sort]
+        slots = np.searchsorted(base_keys, ins_keys)
+        self._order = np.insert(base_order, slots, changed[ins_sort])
+        self._sortkey = np.insert(base_keys, slots, ins_keys)
+        self._cell_of = cells
+        self._flat = flat
+        self._buckets = None
+        return int(changed.size)
 
     def _bucket_map(self) -> dict[tuple[int, int], np.ndarray]:
         if self._buckets is None:
@@ -157,28 +221,23 @@ class UniformGridIndex:
         mask = (dist <= radius) & (candidates != index)
         return candidates[mask]
 
-    def neighbor_pairs(self, radius: float | None = None) -> np.ndarray:
-        """All unordered neighbor pairs as a sorted ``(E, 2)`` edge array.
+    def candidate_pairs_raw(self) -> tuple[np.ndarray, np.ndarray]:
+        """Raw stencil candidate pairs ``(i, j)``, unfiltered.
 
-        Pairs are returned with ``i < j`` and in lexicographic order so
-        results are deterministic, directly diffable as edge sets, and
-        comparable to the dense adjacency.
-
-        The computation is batched over *cell pairs*: within-cell pairs
-        plus the four half-stencil neighbor cells of every node's cell,
-        expanded CSR-style into one candidate array, distance-filtered
-        in a single vectorized pass.
+        The batched cell-pair sweep shared by :meth:`neighbor_pairs`
+        and the incremental engine's validation: within-cell pairs plus
+        the four half-stencil neighbor cells of every node's cell,
+        expanded CSR-style.  No distance filtering or canonicalization
+        happens here; when a wrapped grid has at most two cells per
+        side the aliased stencil may emit duplicate and self pairs,
+        which downstream filtering must drop.
         """
         if self._positions is None:
             raise RuntimeError("index not built; call rebuild() first")
-        radius = self.tx_range if radius is None else radius
-        if radius > self.tx_range:
-            raise ValueError(
-                f"query radius {radius} exceeds index radius {self.tx_range}"
-            )
         n = len(self._positions)
+        empty = np.empty(0, dtype=np.int64)
         if n < 2:
-            return np.empty((0, 2), dtype=np.int64)
+            return empty, empty
         m = self.cells_per_side
         wrap = self.region.boundary is Boundary.TORUS
         order = self._order
@@ -217,9 +276,45 @@ class UniformGridIndex:
                 right_chunks.append(_csr_expand(start[target], counts))
 
         if not left_chunks:
-            return np.empty((0, 2), dtype=np.int64)
-        i = order[np.concatenate(left_chunks)]
-        j = order[np.concatenate(right_chunks)]
+            return empty, empty
+        return (
+            order[np.concatenate(left_chunks)],
+            order[np.concatenate(right_chunks)],
+        )
+
+    def neighbor_pairs(
+        self, radius: float | None = None, return_distances: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """All unordered neighbor pairs as a sorted ``(E, 2)`` edge array.
+
+        Pairs are returned with ``i < j`` and in lexicographic order so
+        results are deterministic, directly diffable as edge sets, and
+        comparable to the dense adjacency.  With ``return_distances``
+        the matching ``(E,)`` distance array rides along (used by the
+        incremental engine to seed its candidate cache without a second
+        distance pass).
+
+        The computation is batched over *cell pairs*: within-cell pairs
+        plus the four half-stencil neighbor cells of every node's cell,
+        expanded CSR-style into one candidate array, distance-filtered
+        in a single vectorized pass.
+        """
+        if self._positions is None:
+            raise RuntimeError("index not built; call rebuild() first")
+        radius = self.tx_range if radius is None else radius
+        if radius > self.tx_range:
+            raise ValueError(
+                f"query radius {radius} exceeds index radius {self.tx_range}"
+            )
+        n = len(self._positions)
+        m = self.cells_per_side
+        wrap = self.region.boundary is Boundary.TORUS
+        i, j = self.candidate_pairs_raw()
+        if not len(i):
+            empty = np.empty((0, 2), dtype=np.int64)
+            if return_distances:
+                return empty, np.empty(0, dtype=float)
+            return empty
         dist = self.region.distance(self._positions[i], self._positions[j])
         keep = dist <= radius
         if wrap and m <= 2:
@@ -228,13 +323,23 @@ class UniformGridIndex:
             keep &= i != j
         i, j = i[keep], j[keep]
         keys = np.minimum(i, j) * n + np.maximum(i, j)
+        if not return_distances:
+            if wrap and m <= 2:
+                # Aliased offsets also revisit the same cell pair, so the
+                # same edge can be emitted more than once.
+                keys = np.unique(keys)
+            else:
+                keys.sort()
+            return np.column_stack((keys // n, keys % n))
+        dist = dist[keep]
         if wrap and m <= 2:
-            # Aliased offsets also revisit the same cell pair, so the
-            # same edge can be emitted more than once.
-            keys = np.unique(keys)
+            keys, first = np.unique(keys, return_index=True)
+            dist = dist[first]
         else:
-            keys.sort()
-        return np.column_stack((keys // n, keys % n))
+            rank = np.argsort(keys, kind="stable")
+            keys = keys[rank]
+            dist = dist[rank]
+        return np.column_stack((keys // n, keys % n)), dist
 
     def adjacency(self, radius: float | None = None) -> np.ndarray:
         """Dense boolean adjacency reconstructed from the edge set."""

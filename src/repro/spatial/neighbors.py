@@ -31,6 +31,8 @@ from .region import SquareRegion
 
 __all__ = [
     "GRID_CROSSOVER_NODES",
+    "INCREMENTAL_MARGIN_FRACTION",
+    "INCREMENTAL_MIN_AMORTIZED_STEPS",
     "MIN_GRID_CELLS_PER_SIDE",
     "LinkEvents",
     "adjacency_to_edges",
@@ -58,6 +60,19 @@ GRID_CROSSOVER_NODES = 100
 #: Below this many grid cells per side the 3x3 stencil spans most of
 #: the region, so the grid degenerates into a slower dense scan.
 MIN_GRID_CELLS_PER_SIDE = 4
+
+#: Default candidate-cache margin of the incremental engine, as a
+#: fraction of ``tx_range``: candidates are cached out to
+#: ``(1 + fraction) * tx_range``.  A wider margin amortizes full
+#: validations over more steps but inflates the per-step candidate set;
+#: 0.5 balances the two at the paper's default velocities (see the
+#: README Performance section).
+INCREMENTAL_MARGIN_FRACTION = 0.5
+
+#: The incremental engine only pays off if the margin buys at least
+#: this many steps between full validations (worst case every pair
+#: closes at ``2 * velocity`` per unit time).
+INCREMENTAL_MIN_AMORTIZED_STEPS = 4
 
 
 @dataclass(frozen=True)
@@ -88,20 +103,45 @@ class LinkEvents:
 
 
 def select_connectivity_method(
-    n_nodes: int, tx_range: float, side: float
+    n_nodes: int,
+    tx_range: float,
+    side: float,
+    velocity: float | None = None,
+    dt: float | None = None,
 ) -> str:
-    """Pick ``"grid"`` or ``"dense"`` for a full connectivity recompute.
+    """Pick ``"dense"``, ``"grid"`` or ``"incremental"`` connectivity.
 
-    The grid wins once the network is large (``n_nodes`` above the
-    measured :data:`GRID_CROSSOVER_NODES`) *and* sparse enough that the
-    3x3 stencil prunes most pairs (at least
+    The grid wins over the dense metric once the network is large
+    (``n_nodes`` above the measured :data:`GRID_CROSSOVER_NODES`) *and*
+    sparse enough that the 3x3 stencil prunes most pairs (at least
     :data:`MIN_GRID_CELLS_PER_SIDE` cells per side, i.e.
     ``tx_range * 4 <= side``).
+
+    When the caller also supplies ``velocity`` and ``dt`` (the
+    simulation does; one-shot recomputes do not), the incremental
+    engine is preferred over the grid whenever temporal coherence pays:
+    the *expanded* candidate radius must still be sparse, and the
+    per-step displacement bound ``2 * velocity * dt`` must be small
+    enough that the candidate margin amortizes a full validation over
+    at least :data:`INCREMENTAL_MIN_AMORTIZED_STEPS` steps.  Static
+    networks (``velocity == 0``) always qualify.  Without the mobility
+    kwargs the historical dense/grid behavior is unchanged.
     """
     sparse_enough = tx_range * MIN_GRID_CELLS_PER_SIDE <= side
-    if n_nodes > GRID_CROSSOVER_NODES and sparse_enough:
-        return "grid"
-    return "dense"
+    if n_nodes <= GRID_CROSSOVER_NODES or not sparse_enough:
+        return "dense"
+    if velocity is not None and dt is not None:
+        margin = INCREMENTAL_MARGIN_FRACTION * tx_range
+        expanded_sparse = (
+            (tx_range + margin) * MIN_GRID_CELLS_PER_SIDE <= side
+        )
+        step_churn = 2.0 * velocity * dt
+        if (
+            expanded_sparse
+            and step_churn * INCREMENTAL_MIN_AMORTIZED_STEPS <= margin
+        ):
+            return "incremental"
+    return "grid"
 
 
 def adjacency_to_edges(adjacency: np.ndarray) -> np.ndarray:

@@ -168,13 +168,41 @@ class TestConnectivitySelection:
             small, EpochRandomWaypointModel(small.velocity, 1.0), seed=0
         )
         assert sim.connectivity == "dense"
+        # A large sparse network with the recommended step's small
+        # per-step displacement qualifies for the incremental engine.
         large = NetworkParameters.from_fractions(
             n_nodes=300, range_fraction=0.05, velocity_fraction=0.05
         )
         sim = Simulation(
             large, EpochRandomWaypointModel(large.velocity, 1.0), seed=0
         )
-        assert sim.connectivity == "grid"
+        assert sim.connectivity == "incremental"
+
+    def test_fast_steps_fall_back_to_grid(self):
+        # A step so large that nodes cross a sizable fraction of the
+        # candidate margin each step cannot amortize validations; the
+        # mobility-aware selection must fall back to the grid.
+        assert (
+            select_connectivity_method(
+                300, 0.05, 1.0, velocity=0.05, dt=10.0
+            )
+            == "grid"
+        )
+
+    def test_static_network_prefers_incremental(self):
+        assert (
+            select_connectivity_method(300, 0.05, 1.0, velocity=0.0, dt=0.1)
+            == "incremental"
+        )
+
+    def test_expanded_radius_density_guard(self):
+        # Sparse enough for the plain grid but not for the expanded
+        # candidate radius: stay on the grid.
+        assert select_connectivity_method(500, 0.2, 1.0) == "grid"
+        assert (
+            select_connectivity_method(500, 0.2, 1.0, velocity=0.0, dt=0.1)
+            == "grid"
+        )
 
     def test_engine_rejects_unknown_connectivity(self):
         params = NetworkParameters.from_fractions(

@@ -176,9 +176,27 @@ class TestRun:
             n_nodes=500, range_fraction=0.05, velocity_fraction=0.02
         )
         sim = Simulation(
-            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=7
+            params,
+            EpochRandomWaypointModel(params.velocity, 1.0),
+            seed=7,
+            connectivity="grid",
         )
         assert sim._index is not None
+        expected = sim.region.adjacency(sim.positions, params.tx_range)
+        np.testing.assert_array_equal(sim.adjacency, expected)
+        sim.step()
+        expected = sim.region.adjacency(sim.positions, params.tx_range)
+        np.testing.assert_array_equal(sim.adjacency, expected)
+
+    def test_incremental_engine_used_for_auto_large_sparse(self):
+        params = NetworkParameters.from_fractions(
+            n_nodes=500, range_fraction=0.05, velocity_fraction=0.02
+        )
+        sim = Simulation(
+            params, EpochRandomWaypointModel(params.velocity, 1.0), seed=7
+        )
+        assert sim.connectivity == "incremental"
+        assert sim._incremental is not None
         expected = sim.region.adjacency(sim.positions, params.tx_range)
         np.testing.assert_array_equal(sim.adjacency, expected)
         sim.step()

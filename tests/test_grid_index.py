@@ -157,6 +157,68 @@ class TestEveryCellCount:
             assert len(np.unique(candidates)) == len(candidates)
 
 
+class TestIncrementalUpdate:
+    """``update`` must be indistinguishable from a fresh ``rebuild``."""
+
+    def _assert_matches_fresh(self, index, region, positions, radius):
+        fresh = UniformGridIndex(region, radius)
+        fresh.rebuild(positions)
+        np.testing.assert_array_equal(
+            index.neighbor_pairs(), fresh.neighbor_pairs()
+        )
+        np.testing.assert_array_equal(index.adjacency(), fresh.adjacency())
+
+    @pytest.mark.parametrize(
+        "boundary", [Boundary.TORUS, Boundary.OPEN, Boundary.REFLECT]
+    )
+    def test_small_motion_stream(self, boundary):
+        region = SquareRegion(1.0, boundary)
+        rng = np.random.default_rng(11)
+        positions = region.uniform_positions(150, 11)
+        index = UniformGridIndex(region, 0.12)
+        for _ in range(12):
+            positions = positions + rng.normal(0.0, 0.01, positions.shape)
+            if boundary is Boundary.TORUS:
+                positions %= region.side
+            else:
+                positions = np.clip(positions, 0.0, region.side)
+            changed = index.update(positions)
+            assert changed >= 0
+            self._assert_matches_fresh(index, region, positions, 0.12)
+
+    def test_teleports_handled(self, unit_torus):
+        rng = np.random.default_rng(12)
+        positions = unit_torus.uniform_positions(120, 12)
+        index = UniformGridIndex(unit_torus, 0.15)
+        index.update(positions)
+        for _ in range(5):
+            positions = positions.copy()
+            jump = rng.choice(120, size=7, replace=False)
+            positions[jump] = rng.random((7, 2))
+            index.update(positions)
+            self._assert_matches_fresh(index, unit_torus, positions, 0.15)
+
+    def test_first_update_acts_as_rebuild(self, unit_torus):
+        positions = unit_torus.uniform_positions(60, 13)
+        index = UniformGridIndex(unit_torus, 0.2)
+        index.update(positions)
+        self._assert_matches_fresh(index, unit_torus, positions, 0.2)
+
+    def test_length_change_triggers_rebuild(self, unit_torus):
+        index = UniformGridIndex(unit_torus, 0.2)
+        index.update(unit_torus.uniform_positions(50, 14))
+        grown = unit_torus.uniform_positions(80, 15)
+        index.update(grown)
+        self._assert_matches_fresh(index, unit_torus, grown, 0.2)
+
+    def test_no_motion_is_noop(self, unit_torus):
+        positions = unit_torus.uniform_positions(90, 16)
+        index = UniformGridIndex(unit_torus, 0.1)
+        index.update(positions)
+        assert index.update(positions) == 0
+        self._assert_matches_fresh(index, unit_torus, positions, 0.1)
+
+
 @settings(max_examples=25, deadline=None)
 @given(
     st.integers(min_value=2, max_value=120),
@@ -173,3 +235,34 @@ def test_grid_equals_dense_property(n, radius, seed, boundary):
     np.testing.assert_array_equal(
         index.adjacency(), region.adjacency(positions, radius)
     )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=100),
+    st.floats(min_value=0.05, max_value=0.5),
+    st.integers(min_value=0, max_value=1000),
+    st.sampled_from([Boundary.TORUS, Boundary.OPEN, Boundary.REFLECT]),
+)
+def test_update_equals_rebuild_property(n, radius, seed, boundary):
+    """A stream of updates (with teleports) never diverges from rebuild."""
+    region = SquareRegion(1.0, boundary)
+    rng = np.random.default_rng(seed)
+    positions = region.uniform_positions(n, seed)
+    index = UniformGridIndex(region, radius)
+    for round_index in range(4):
+        positions = positions + rng.normal(0.0, 0.02, positions.shape)
+        if round_index == 2:
+            # Teleport a node to stress the re-binning path.
+            positions = positions.copy()
+            positions[rng.integers(n)] = rng.random(2)
+        if boundary is Boundary.TORUS:
+            positions = positions % region.side
+        else:
+            positions = np.clip(positions, 0.0, region.side)
+        index.update(positions)
+        fresh = UniformGridIndex(region, radius)
+        fresh.rebuild(positions)
+        np.testing.assert_array_equal(
+            index.neighbor_pairs(), fresh.neighbor_pairs()
+        )

@@ -16,6 +16,7 @@ from repro.analysis.parallel import (
     merge_telemetry,
     resolve_jobs,
     run_tasks,
+    task_chunk_size,
 )
 from repro.analysis.sweep import measure_point
 from repro.core.params import NetworkParameters
@@ -61,6 +62,56 @@ class TestResolveJobs:
 
     def test_at_least_one(self):
         assert resolve_jobs(4, 0) == 1
+
+
+class TestTaskChunkSize:
+    def test_four_chunks_per_worker(self):
+        assert task_chunk_size(32, 2) == 4
+        assert task_chunk_size(100, 4) == 6
+
+    def test_never_below_one(self):
+        assert task_chunk_size(3, 4) == 1
+        assert task_chunk_size(0, 1) == 1
+
+    def test_serial_batches_too(self):
+        # jobs=1 still amortizes: one worker, ~4 submissions.
+        assert task_chunk_size(40, 1) == 10
+
+
+class TestWorkerChunking:
+    def test_chunked_results_in_order(self):
+        # 32 tasks / 2 jobs -> chunk_size 4: exercises multi-task chunks.
+        tasks = list(range(32))
+        assert run_tasks(_square_task, tasks, jobs=2) == [
+            t * t for t in tasks
+        ]
+
+    def test_chunk_size_surfaces_in_metrics(self):
+        registry = MetricsRegistry()
+        with observe(registry=registry):
+            run_tasks(_square_task, list(range(16)), jobs=2)
+        gauges = {
+            row["name"]: row["value"]
+            for row in registry.to_dict()["gauges"]
+        }
+        assert gauges["worker_chunk_size"] == task_chunk_size(16, 2)
+
+    def test_pool_reused_across_sweeps(self):
+        from repro.analysis import parallel as parallel_mod
+
+        run_tasks(_square_task, list(range(8)), jobs=2)
+        first = parallel_mod._POOL
+        assert first is not None
+        run_tasks(_square_task, list(range(8)), jobs=2)
+        assert parallel_mod._POOL is first
+
+    def test_pool_recreated_on_jobs_change(self):
+        from repro.analysis import parallel as parallel_mod
+
+        run_tasks(_square_task, list(range(8)), jobs=2)
+        first = parallel_mod._POOL
+        run_tasks(_square_task, list(range(9)), jobs=3)
+        assert parallel_mod._POOL is not first
 
 
 class TestRunTasks:
