@@ -20,6 +20,10 @@ the parent's id counters (so concurrent workers never collide), registry
 instruments are folded in under the same remapping, and phase timings
 are added to the shared timer.  ``repro-manet trace-summary`` on a
 traced parallel run therefore reconciles exactly as a serial run does.
+The overhead-attribution ledger rides the same path for free: its
+run-end ``attribution`` event carries a ``sim`` field and its
+``overhead_*_total`` counters a ``sim`` label, both remapped by the
+merge, so ``--jobs N`` attribution output is byte-identical to serial.
 
 Determinism: tasks carry explicit seeds and workers derive *all*
 randomness from them, so scheduling cannot leak into results.  The only

@@ -22,6 +22,7 @@ from ..clustering.stability import attach_cluster_dynamics
 from ..core import overhead as overhead_model
 from ..core.params import MessageSizes, NetworkParameters
 from ..mobility import EpochRandomWaypointModel
+from ..obs.attribution import attach_attribution
 from ..obs.health import attach_run_health
 from ..routing import IntraClusterRoutingProtocol
 from ..sim import HelloProtocol, Simulation
@@ -141,6 +142,10 @@ def _run_once(
     # otherwise.  Attached before stepping so its window sums reconcile
     # with trace event counts.
     attach_cluster_dynamics(sim, maintenance)
+    # Overhead attribution when traced or exporting metrics; no-op
+    # otherwise.  Attached last so every message-producing protocol is
+    # already in place when the ledger hooks the stats stream.
+    attach_attribution(sim, maintenance)
 
     # Sample the head ratio across the measurement window, like the
     # paper's real-time P measurement.

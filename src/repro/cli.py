@@ -7,6 +7,7 @@ Subcommands::
     repro-manet run all [--quick]        # run every experiment
     repro-manet simulate scenario.json   # run a declarative scenario
     repro-manet trace-summary t.jsonl    # aggregate a telemetry trace
+    repro-manet metrics t.jsonl          # OpenMetrics export of a trace
     repro-manet report t.jsonl           # Markdown run-health report
     repro-manet timeline t.jsonl         # Chrome/Perfetto trace export
     repro-manet compare a.jsonl b.jsonl  # diff two traced runs
@@ -34,7 +35,10 @@ store.
 ``run`` and ``simulate`` accept telemetry flags (see README,
 "Observability"): ``--trace FILE`` streams structured JSONL events,
 ``--metrics-json FILE`` exports the metrics registry and per-phase
-timing, ``--progress`` prints progress lines and the timing breakdown,
+timing, ``--metrics-openmetrics FILE`` (also on ``sweep``) exports the
+registry — message totals plus the overhead-attribution counters — in
+OpenMetrics text format, ``--progress`` prints progress lines and the
+timing breakdown,
 and ``-v`` / ``--log-level`` control stdlib logging across the package.
 Run-health flags ride on the same commands: ``--audit [check|strict]``
 attaches the P1/P2 invariant auditor and the analytic-residual monitor
@@ -170,6 +174,7 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write the metrics registry and timing breakdown to FILE",
     )
+    _add_openmetrics_flag(parser)
     parser.add_argument(
         "--progress",
         action="store_true",
@@ -233,6 +238,18 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     _add_logging_flags(parser)
 
 
+def _add_openmetrics_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-openmetrics",
+        metavar="FILE",
+        default=None,
+        help=(
+            "write the metrics registry (message totals, overhead "
+            "attribution counters) to FILE in OpenMetrics text format"
+        ),
+    )
+
+
 def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "-v",
@@ -294,6 +311,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON instead of text",
     )
     _add_telemetry_flags(simulate)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help=(
+            "export a JSONL trace in OpenMetrics text format (message "
+            "totals plus overhead-attribution counters)"
+        ),
+    )
+    metrics.add_argument("file", help="trace file written by --trace")
+    metrics.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="output path (default: stdout)",
+    )
+    _add_logging_flags(metrics)
 
     trace_summary = sub.add_parser(
         "trace-summary",
@@ -384,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_jobs_flag(sweep)
     _add_store_flags(sweep)
+    _add_openmetrics_flag(sweep)
     _add_logging_flags(sweep)
 
     store = sub.add_parser(
@@ -579,6 +613,7 @@ def _resolve_store(args):
 def _run_sweep(args) -> int:
     from .analysis import run_sweep
     from .experiments.figures123 import sweep_table
+    from .obs import MetricsRegistry, observe
 
     try:
         values = [float(v) for v in args.values.split(",") if v.strip()]
@@ -592,16 +627,28 @@ def _run_sweep(args) -> int:
     base = NetworkParameters.from_fractions(
         n_nodes=args.n, range_fraction=args.rf, velocity_fraction=args.vf
     )
-    result = run_sweep(
-        args.parameter,
-        base,
-        values,
-        seeds=args.seeds,
-        duration=args.duration,
-        warmup=args.duration * 0.15,
-        jobs=args.jobs,
-        store=store,
+    # An ambient registry makes every per-seed run attach the overhead
+    # ledger; worker registries are folded back in by the parallel
+    # runner, so any --jobs value exports identical counters.
+    registry = (
+        MetricsRegistry() if args.metrics_openmetrics is not None else None
     )
+    with observe(registry=registry):
+        result = run_sweep(
+            args.parameter,
+            base,
+            values,
+            seeds=args.seeds,
+            duration=args.duration,
+            warmup=args.duration * 0.15,
+            jobs=args.jobs,
+            store=store,
+        )
+    if registry is not None:
+        from .obs.openmetrics import write_openmetrics
+
+        write_openmetrics(registry, args.metrics_openmetrics)
+        print(f"openmetrics written to {args.metrics_openmetrics}")
     table = sweep_table(
         result,
         f"Sweep of {args.parameter} (N={args.n})",
@@ -630,17 +677,33 @@ def _run_bench(args) -> int:
         raise _CliError("no bench modes given")
     try:
         sizes = [int(v) for v in args.sizes.split(",") if v.strip()]
-        sweep_jobs = (
-            [int(v) for v in args.sweep_jobs.split(",") if v.strip()]
-            if args.sweep_jobs
-            else None
-        )
     except ValueError:
         raise _CliError(
-            f"could not parse sizes/jobs: {args.sizes!r} {args.sweep_jobs!r}"
+            f"could not parse sizes: {args.sizes!r}"
         ) from None
     if not sizes:
         raise _CliError("no benchmark sizes given")
+    sweep_jobs = None
+    if args.sweep_jobs is not None:
+        tokens = [token.strip() for token in args.sweep_jobs.split(",")]
+        if not tokens or any(not token for token in tokens):
+            raise _CliError(
+                f"bad --sweep-jobs {args.sweep_jobs!r}: empty entry "
+                "(use a comma-separated list like 1,4)"
+            )
+        try:
+            sweep_jobs = [int(token) for token in tokens]
+        except ValueError:
+            raise _CliError(
+                f"bad --sweep-jobs {args.sweep_jobs!r}: entries must be "
+                "integers (use a comma-separated list like 1,4)"
+            ) from None
+        invalid = [jobs for jobs in sweep_jobs if jobs < 1]
+        if invalid:
+            raise _CliError(
+                f"bad --sweep-jobs {args.sweep_jobs!r}: jobs values must "
+                f"be >= 1, got {invalid}"
+            )
     payload = run_bench(
         sizes=sizes,
         steps=args.steps,
@@ -773,6 +836,10 @@ class _Telemetry:
             Path(args.metrics_json).write_text(
                 _json.dumps(payload, indent=2) + "\n"
             )
+        if getattr(args, "metrics_openmetrics", None) is not None:
+            from .obs.openmetrics import write_openmetrics
+
+            write_openmetrics(self.registry, args.metrics_openmetrics)
         if args.progress:
             print()
             print(self.timer.report().render())
@@ -795,7 +862,12 @@ def _telemetry_scope(args):
             tracer = JsonlTracer(args.trace, step_every=args.trace_step_every)
         except OSError as error:
             raise _CliError(f"cannot open trace file: {error}") from None
-    registry = MetricsRegistry() if args.metrics_json is not None else None
+    registry = (
+        MetricsRegistry()
+        if args.metrics_json is not None
+        or getattr(args, "metrics_openmetrics", None) is not None
+        else None
+    )
     timer = PhaseTimer()
     health = None
     if args.audit != "off":
@@ -950,6 +1022,28 @@ def _run_store(args) -> int:
     return 2  # pragma: no cover - argparse enforces the choices
 
 
+def _run_metrics(args) -> int:
+    from .obs.openmetrics import registry_from_trace, render_openmetrics
+
+    try:
+        registry = registry_from_trace(args.file)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 2
+    text = render_openmetrics(registry)
+    if args.out is not None:
+        from pathlib import Path
+
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"openmetrics written to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _run_timeline(args) -> int:
     from .obs.timeline import write_timeline
 
@@ -1041,6 +1135,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_bench(args)
         if args.command == "trace-summary":
             return _run_trace_summary(args)
+        if args.command == "metrics":
+            return _run_metrics(args)
         if args.command == "timeline":
             return _run_timeline(args)
         if args.command == "compare":

@@ -26,6 +26,7 @@ from collections import deque
 
 import numpy as np
 
+from ..obs.attribution import CAUSE_REAFFILIATION, attributed
 from ..sim.engine import Protocol, Simulation
 from .base import ClusteringAlgorithm, ClusterState, Role
 
@@ -122,7 +123,13 @@ class DHopClusterMaintenanceProtocol(Protocol):
             self.state.make_member(node, host)
         else:
             self.state.make_head(node)
-        self._send_cluster_message(sim)
+        with attributed(
+            sim,
+            CAUSE_REAFFILIATION,
+            node=node,
+            cluster=int(node if host is None else host),
+        ):
+            self._send_cluster_message(sim)
         if sim.tracer.enabled:
             became_head = host is None
             sim.tracer.emit(

@@ -40,6 +40,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.attribution import (
+    CAUSE_HEAD_ADJACENCY_REPAIR,
+    CAUSE_HEAD_MERGE_CASCADE,
+    CAUSE_REAFFILIATION,
+    attributed,
+)
 from ..sim.engine import Protocol, Simulation
 from .base import ClusteringAlgorithm, ClusterState, Role
 
@@ -114,12 +120,20 @@ class ClusterMaintenanceProtocol(Protocol):
     def _best_head(self, candidates: np.ndarray) -> int:
         return int(candidates[np.argmax(self._priority[candidates])])
 
-    def _reaffiliate(self, sim: Simulation, node: int, time: float) -> int | None:
+    def _reaffiliate(
+        self,
+        sim: Simulation,
+        node: int,
+        time: float,
+        cause: str = CAUSE_REAFFILIATION,
+    ) -> int | None:
         """Give an orphaned node a new affiliation (one CLUSTER message).
 
-        Returns the ``reaffiliate`` span id when tracing (else None),
-        so a cascading repair can link itself to the reaffiliations it
-        forced.
+        ``cause`` labels the message in the overhead-attribution ledger
+        (the P2 default, or ``head-merge-cascade`` when a resigning
+        head forced this reaffiliation).  Returns the ``reaffiliate``
+        span id when tracing (else None), so a cascading repair can
+        link itself to the reaffiliations it forced.
         """
         heads = self._neighboring_heads(sim, node)
         if len(heads):
@@ -137,7 +151,8 @@ class ClusterMaintenanceProtocol(Protocol):
         span = None
         if spans.enabled:
             span = spans.start("reaffiliate", "handler", time, node=int(node))
-        self._send_cluster_message(sim)
+        with attributed(sim, cause, node=node, cluster=int(new_head)):
+            self._send_cluster_message(sim)
         if sim.tracer.enabled:
             sim.tracer.emit(
                 "cluster_reaffiliation",
@@ -179,7 +194,10 @@ class ClusterMaintenanceProtocol(Protocol):
         self.state.make_member(loser, winner)
         self.head_changes_total += 1
         self.reaffiliations_total += 1
-        self._send_cluster_message(sim)
+        with attributed(
+            sim, CAUSE_HEAD_ADJACENCY_REPAIR, node=loser, cluster=int(winner)
+        ):
+            self._send_cluster_message(sim)
         if sim.tracer.enabled:
             sim.tracer.emit(
                 "head_change",
@@ -205,7 +223,9 @@ class ClusterMaintenanceProtocol(Protocol):
         # P1 violation because a node only becomes head when it has no
         # neighboring head.
         for member in members:
-            child = self._reaffiliate(sim, int(member), time)
+            child = self._reaffiliate(
+                sim, int(member), time, cause=CAUSE_HEAD_MERGE_CASCADE
+            )
             if merge_span is not None and child is not None:
                 spans.link(merge_span, child, "cascade", time)
         if merge_span is not None:

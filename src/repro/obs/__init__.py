@@ -37,14 +37,33 @@ bursts they trigger.  :mod:`~repro.obs.timeline` exports the result as
 Chrome/Perfetto trace-event JSON, and :mod:`~repro.obs.compare` diffs
 two traces — overhead rates, cluster-dynamics rates, residual verdicts
 — behind the ``repro-manet compare`` gate.
+
+The **attribution layer** (:mod:`~repro.obs.attribution`) tags every
+control message with a root cause at its send site and accumulates
+per-cause / per-node / per-cluster ledgers plus a spatial heatmap that
+reconcile with :class:`~repro.sim.stats.MessageStats` by construction;
+:mod:`~repro.obs.openmetrics` exports the metrics registry — including
+the attribution counters — in OpenMetrics text format
+(``repro-manet metrics`` and ``--metrics-openmetrics``).
 """
 
+from .attribution import (
+    KNOWN_CAUSES,
+    OverheadLedger,
+    attach_attribution,
+    attributed,
+)
 from .audit import AuditError, InvariantAuditor
 from .compare import TraceComparison, TraceDigest, compare_traces
 from .context import ObsContext, RunHealthConfig, current, observe
 from .health import attach_run_health
 from .log import PROGRESS_LOGGER, configure_logging, progress
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .openmetrics import (
+    registry_from_trace,
+    render_openmetrics,
+    write_openmetrics,
+)
 from .report import HealthReport, TraceHealth, build_report
 from .residuals import MONITORED_CATEGORIES, ResidualMonitor
 from .resources import ResourceSampler, current_rss_kb
@@ -69,6 +88,13 @@ __all__ = [
     "observe",
     "AuditError",
     "InvariantAuditor",
+    "KNOWN_CAUSES",
+    "OverheadLedger",
+    "attach_attribution",
+    "attributed",
+    "registry_from_trace",
+    "render_openmetrics",
+    "write_openmetrics",
     "MONITORED_CATEGORIES",
     "ResidualMonitor",
     "ResourceSampler",

@@ -1,0 +1,533 @@
+"""Overhead attribution: per-cause / per-node / per-cluster accounting.
+
+The paper decomposes control overhead into HELLO, CLUSTER and ROUTE
+totals; this module decomposes those totals one level further — *why*
+was each control message sent, *who* sent it, and *where*.  An
+:class:`OverheadLedger` rides the same
+:attr:`~repro.sim.stats.MessageStats.on_record` hook the trace's
+``msg_tx`` mirror uses, so its accounting reconciles with the
+``MessageStats`` totals **by construction**: every recorded message is
+observed exactly once, inside the measurement window, already split
+into the same ``(category, messages, bits)`` triples the totals
+accumulate.  A run-end ``attribution`` trace event carries the full
+breakdown; a mismatch (which would indicate a bookkeeping bug, not a
+simulation property) fails the run under ``--audit strict``.
+
+Send sites annotate their cause with :func:`attributed`::
+
+    with attributed(sim, CAUSE_REAFFILIATION, node=orphan):
+        sim.stats.record("cluster", 1, bits)
+
+When no ledger is attached (``sim.attribution is None`` — the default)
+:func:`attributed` returns a shared no-op context manager, so untraced
+simulations pay one attribute read and no allocation.
+
+The root-cause vocabulary mirrors the repair taxonomy of the
+maintenance layer (P1 head-adjacency repairs, P2 reaffiliations,
+head-merge cascades — the same events the span layer links with
+``span_link kind="cascade"``), the beacon modes, and the routing
+control-plane verbs:
+
+========================  ==================================================
+cause                     meaning
+========================  ==================================================
+``periodic-hello``        periodic beacon broadcast (HELLO periodic mode)
+``event-hello``           link-generation HELLO pair (event mode, Eqn 4)
+``link-break-repair``     route state invalidation after a link break
+                          (AODV/hybrid RERR bursts)
+``head-adjacency-repair``  P1 repair: the losing head's own demotion
+                          message when two heads became adjacent
+``reaffiliation``         P2 repair: an orphaned member re-homing after
+                          losing the link to its head
+``head-merge-cascade``    reaffiliations forced by a head merge (the
+                          ``m`` messages of Eqn 10 beyond the demotion)
+``intra-cluster-update``  proactive intra-cluster routing round (Eqn 13)
+``route-discovery``       reactive RREQ flood + RREP unicast (AODV or
+                          backbone discovery)
+``dsdv-periodic``         DSDV full-table periodic dump
+``dsdv-triggered``        DSDV triggered incremental update
+``broadcast-flood``       network-wide data broadcast flood
+``unattributed``          recorded outside any :func:`attributed` scope
+                          (kept so per-cause sums stay exact)
+========================  ==================================================
+
+Node attribution charges each message to its transmitter (floods and
+cluster-wide rounds are split evenly across the transmitting nodes;
+event-mode HELLO pairs across both endpoints).  Cluster attribution
+uses the transmitter's *current* cluster head (``-1`` when the stack
+has no one-hop clustering), and a ``bins * bins`` grid over the
+region accumulates a spatial heatmap of message density.
+"""
+
+from __future__ import annotations
+
+from . import context as obs_context
+from .audit import AuditError
+
+__all__ = [
+    "CAUSE_PERIODIC_HELLO",
+    "CAUSE_EVENT_HELLO",
+    "CAUSE_LINK_BREAK_REPAIR",
+    "CAUSE_HEAD_ADJACENCY_REPAIR",
+    "CAUSE_REAFFILIATION",
+    "CAUSE_HEAD_MERGE_CASCADE",
+    "CAUSE_INTRA_CLUSTER_UPDATE",
+    "CAUSE_ROUTE_DISCOVERY",
+    "CAUSE_DSDV_PERIODIC",
+    "CAUSE_DSDV_TRIGGERED",
+    "CAUSE_BROADCAST_FLOOD",
+    "CAUSE_UNATTRIBUTED",
+    "KNOWN_CAUSES",
+    "OverheadLedger",
+    "attach_attribution",
+    "attributed",
+]
+
+CAUSE_PERIODIC_HELLO = "periodic-hello"
+CAUSE_EVENT_HELLO = "event-hello"
+CAUSE_LINK_BREAK_REPAIR = "link-break-repair"
+CAUSE_HEAD_ADJACENCY_REPAIR = "head-adjacency-repair"
+CAUSE_REAFFILIATION = "reaffiliation"
+CAUSE_HEAD_MERGE_CASCADE = "head-merge-cascade"
+CAUSE_INTRA_CLUSTER_UPDATE = "intra-cluster-update"
+CAUSE_ROUTE_DISCOVERY = "route-discovery"
+CAUSE_DSDV_PERIODIC = "dsdv-periodic"
+CAUSE_DSDV_TRIGGERED = "dsdv-triggered"
+CAUSE_BROADCAST_FLOOD = "broadcast-flood"
+CAUSE_UNATTRIBUTED = "unattributed"
+
+#: Every cause a stock protocol stack can produce.
+KNOWN_CAUSES = (
+    CAUSE_PERIODIC_HELLO,
+    CAUSE_EVENT_HELLO,
+    CAUSE_LINK_BREAK_REPAIR,
+    CAUSE_HEAD_ADJACENCY_REPAIR,
+    CAUSE_REAFFILIATION,
+    CAUSE_HEAD_MERGE_CASCADE,
+    CAUSE_INTRA_CLUSTER_UPDATE,
+    CAUSE_ROUTE_DISCOVERY,
+    CAUSE_DSDV_PERIODIC,
+    CAUSE_DSDV_TRIGGERED,
+    CAUSE_BROADCAST_FLOOD,
+    CAUSE_UNATTRIBUTED,
+)
+
+
+class _NullScope:
+    """Shared no-op context manager for unattributed simulations."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class _CauseScope:
+    """Sets the ledger's active cause for the body; nesting-safe."""
+
+    __slots__ = ("_ledger", "_scope", "_saved")
+
+    def __init__(self, ledger, scope):
+        self._ledger = ledger
+        self._scope = scope
+
+    def __enter__(self):
+        self._saved = self._ledger._scope
+        self._ledger._scope = self._scope
+        return self._scope
+
+    def __exit__(self, *exc_info):
+        self._ledger._scope = self._saved
+        return False
+
+
+def attributed(sim, cause, node=None, nodes=None, cluster=None):
+    """Scope tagging every ``sim.stats.record`` in the body with ``cause``.
+
+    Parameters
+    ----------
+    sim:
+        The simulation whose ledger (``sim.attribution``) receives the
+        tag; a no-op scope is returned when no ledger is attached.
+    cause:
+        Root-cause label (one of the ``CAUSE_*`` constants, though the
+        ledger accepts any string).
+    node:
+        Transmitting node, when a single node sent everything.
+    nodes:
+        Transmitting nodes, when the recorded burst is split evenly
+        across several transmitters (e.g. one round where every cluster
+        node sends once).
+    cluster:
+        Explicit cluster (head id) to charge; defaults to each
+        transmitter's current cluster from the maintenance state.
+    """
+    ledger = getattr(sim, "attribution", None)
+    if ledger is None:
+        return _NULL_SCOPE
+    return _CauseScope(ledger, (cause, node, nodes, cluster))
+
+
+class _Tally:
+    """Message/bit accumulator (plain attributes; hot path)."""
+
+    __slots__ = ("messages", "bits")
+
+    def __init__(self) -> None:
+        self.messages = 0.0
+        self.bits = 0.0
+
+    def add(self, messages, bits) -> None:
+        self.messages += messages
+        self.bits += bits
+
+
+def _num(value):
+    """Integral floats → int, for compact deterministic JSON."""
+    value = float(value)
+    return int(value) if value.is_integer() else value
+
+
+class OverheadLedger:
+    """Per-cause / per-node / per-cluster control-overhead accounting.
+
+    Attached as an ordinary (duck-typed) protocol; its ``on_attach``
+    chains itself into ``sim.stats.on_record`` *in front of* any
+    existing hook (the trace's ``msg_tx`` mirror), so it observes
+    exactly the records the totals count — records outside the
+    measurement window never reach it, and the reconciliation against
+    :attr:`~repro.sim.stats.MessageStats.totals` is exact by
+    construction.  ``on_run_end`` emits one ``attribution`` trace event
+    with the complete breakdown and verifies the reconciliation,
+    raising :class:`~repro.obs.audit.AuditError` in strict mode.
+
+    Parameters
+    ----------
+    maintenance:
+        Cluster maintenance protocol supplying the live node → head
+        mapping, or ``None`` for unclustered stacks (cluster ``-1``).
+    bins:
+        Side of the spatial heatmap grid.
+    registry:
+        When given, ``overhead_messages_total`` / ``overhead_bits_total``
+        counters labelled ``{cause, protocol, cluster}`` (plus
+        ``labels``) are kept live in it — the source of the OpenMetrics
+        export, and merged across workers by the parallel runner.
+    strict:
+        Raise :class:`AuditError` when the run-end reconciliation
+        fails (the ``--audit strict`` contract).
+    labels:
+        Extra labels stamped on every registry counter (``{"sim": ...}``
+        when sharing a registry across runs).
+    """
+
+    name = "overhead-attribution"
+
+    def __init__(
+        self,
+        maintenance=None,
+        bins: int = 8,
+        registry=None,
+        strict: bool = False,
+        labels: dict | None = None,
+    ) -> None:
+        if bins < 1:
+            raise ValueError(f"bins must be positive, got {bins}")
+        self.maintenance = maintenance
+        self.bins = bins
+        self.registry = registry
+        self.strict = strict
+        self.labels = dict(labels) if labels else {}
+        #: ``(category, cause) -> _Tally``
+        self.by_cause: dict[tuple[str, str], _Tally] = {}
+        #: ``node -> _Tally`` (transmitter attribution).
+        self.by_node: dict[int, _Tally] = {}
+        #: ``cluster head -> _Tally`` (``-1`` = no cluster).
+        self.by_cluster: dict[int, _Tally] = {}
+        #: ``(category, cause, cluster) -> _Tally`` — the full label
+        #: cross-product behind the ``overhead_*_total`` counters, kept
+        #: ledger-side too so a trace alone can rebuild the metrics.
+        self.by_cell: dict[tuple[str, str, int], _Tally] = {}
+        #: ``category -> _Tally`` accumulated in record order — the
+        #: bitwise mirror of the ``MessageStats`` counters.
+        self.totals: dict[str, _Tally] = {}
+        #: Row-major ``bins * bins`` message-density grid.
+        self.heatmap: list[float] = [0.0] * (bins * bins)
+        self._scope = None
+        self._sim = None
+        self._side = 1.0
+        self._chained = None
+        self._counter_cache: dict[tuple[str, str, int], tuple] = {}
+        self._flushed = False
+
+    # ------------------------------------------------------------------
+    # Protocol hooks (duck-typed; see Simulation.attach)
+    # ------------------------------------------------------------------
+    def on_attach(self, sim) -> None:
+        self._sim = sim
+        self._side = float(sim.params.side)
+        sim.attribution = self
+        # Chain in front of the existing hook (the msg_tx trace mirror)
+        # so both observe the identical record stream.
+        self._chained = sim.stats.on_record
+        sim.stats.on_record = self._on_record
+
+    def on_step_begin(self, sim, time: float) -> None:
+        pass
+
+    def on_link_up(self, sim, u: int, v: int, time: float) -> None:
+        pass
+
+    def on_link_down(self, sim, u: int, v: int, time: float) -> None:
+        pass
+
+    def on_step_end(self, sim, time: float) -> None:
+        pass
+
+    def on_run_end(self, sim, time: float) -> None:
+        if self._flushed:  # manual drivers may notify more than once
+            return
+        self._flushed = True
+        mismatches = self.reconcile()
+        if sim.tracer.enabled:
+            sim.tracer.emit(
+                "attribution",
+                time,
+                sim=sim.sim_id,
+                **self.snapshot(),
+                reconciled=not mismatches,
+            )
+        if mismatches and self.strict:
+            raise AuditError(
+                f"overhead attribution failed to reconcile with message "
+                f"totals (sim {sim.sim_id}): " + "; ".join(mismatches)
+            )
+
+    # ------------------------------------------------------------------
+    # Accounting (the MessageStats.on_record hook)
+    # ------------------------------------------------------------------
+    def _on_record(self, category: str, messages: int, bits: float) -> None:
+        scope = self._scope
+        if scope is None:
+            cause, node, nodes, cluster = CAUSE_UNATTRIBUTED, None, None, None
+        else:
+            cause, node, nodes, cluster = scope
+
+        tally = self.by_cause.get((category, cause))
+        if tally is None:
+            tally = self.by_cause[(category, cause)] = _Tally()
+        tally.add(messages, bits)
+        total = self.totals.get(category)
+        if total is None:
+            total = self.totals[category] = _Tally()
+        total.add(messages, bits)
+
+        if node is not None:
+            targets = (int(node),)
+        elif nodes is not None and len(nodes):
+            targets = tuple(int(x) for x in nodes)
+        else:
+            targets = ()
+
+        if targets:
+            share_messages = messages / len(targets)
+            share_bits = bits / len(targets)
+            positions = self._sim.positions
+            scale = self.bins / self._side
+            last = self.bins - 1
+            for target in targets:
+                entry = self.by_node.get(target)
+                if entry is None:
+                    entry = self.by_node[target] = _Tally()
+                entry.add(share_messages, share_bits)
+                home = (
+                    int(cluster)
+                    if cluster is not None
+                    else self._cluster_of(target)
+                )
+                entry = self.by_cluster.get(home)
+                if entry is None:
+                    entry = self.by_cluster[home] = _Tally()
+                entry.add(share_messages, share_bits)
+                x, y = positions[target]
+                col = min(last, int(x * scale))
+                row = min(last, int(y * scale))
+                self.heatmap[row * self.bins + col] += share_messages
+                self._registry_add(
+                    category, cause, home, share_messages, share_bits
+                )
+        else:
+            home = int(cluster) if cluster is not None else -1
+            entry = self.by_cluster.get(home)
+            if entry is None:
+                entry = self.by_cluster[home] = _Tally()
+            entry.add(messages, bits)
+            self._registry_add(category, cause, home, messages, bits)
+
+        if self._chained is not None:
+            self._chained(category, messages, bits)
+
+    def _cluster_of(self, node: int) -> int:
+        maintenance = self.maintenance
+        if maintenance is None or maintenance.state is None:
+            return -1
+        return int(maintenance.state.head_of[node])
+
+    def _registry_add(self, category, cause, cluster, messages, bits) -> None:
+        cell = self.by_cell.get((category, cause, cluster))
+        if cell is None:
+            cell = self.by_cell[(category, cause, cluster)] = _Tally()
+        cell.add(messages, bits)
+        if self.registry is None:
+            return
+        key = (category, cause, cluster)
+        pair = self._counter_cache.get(key)
+        if pair is None:
+            pair = (
+                self.registry.counter(
+                    "overhead_messages_total",
+                    cause=cause,
+                    protocol=category,
+                    cluster=str(cluster),
+                    **self.labels,
+                ),
+                self.registry.counter(
+                    "overhead_bits_total",
+                    cause=cause,
+                    protocol=category,
+                    cluster=str(cluster),
+                    **self.labels,
+                ),
+            )
+            self._counter_cache[key] = pair
+        pair[0].inc(messages)
+        pair[1].inc(bits)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def reconcile(self) -> list[str]:
+        """Check the ledger against ``sim.stats``; returns mismatches.
+
+        Two properties are verified: the ledger's record-order category
+        totals equal the ``MessageStats`` totals exactly (same stream,
+        same accumulation order — bitwise), and per-cause message
+        counts sum to the category totals (integer arithmetic).
+        """
+        problems: list[str] = []
+        stats_totals = self._sim.stats.totals
+        categories = sorted(set(stats_totals) | set(self.totals))
+        for category in categories:
+            expected = stats_totals.get(category)
+            expected_messages = 0 if expected is None else expected.messages
+            expected_bits = 0.0 if expected is None else expected.bits
+            seen = self.totals.get(category)
+            seen_messages = 0 if seen is None else int(seen.messages)
+            seen_bits = 0.0 if seen is None else seen.bits
+            if seen_messages != expected_messages or seen_bits != expected_bits:
+                problems.append(
+                    f"{category}: ledger {seen_messages} msg/{seen_bits:g} "
+                    f"bits vs stats {expected_messages} msg/"
+                    f"{expected_bits:g} bits"
+                )
+            cause_messages = sum(
+                tally.messages
+                for (cat, _cause), tally in self.by_cause.items()
+                if cat == category
+            )
+            if int(cause_messages) != expected_messages:
+                problems.append(
+                    f"{category}: per-cause sum {int(cause_messages)} msg "
+                    f"vs stats {expected_messages} msg"
+                )
+        return problems
+
+    def snapshot(self) -> dict:
+        """JSON-ready breakdown (sorted keys, deterministic bytes)."""
+        causes: dict[str, dict] = {}
+        for (category, cause), tally in sorted(self.by_cause.items()):
+            causes.setdefault(category, {})[cause] = {
+                "messages": _num(tally.messages),
+                "bits": tally.bits,
+            }
+        return {
+            "causes": causes,
+            "nodes": {
+                str(node): {
+                    "messages": _num(tally.messages),
+                    "bits": tally.bits,
+                }
+                for node, tally in sorted(self.by_node.items())
+            },
+            "clusters": {
+                str(cluster): {
+                    "messages": _num(tally.messages),
+                    "bits": tally.bits,
+                }
+                for cluster, tally in sorted(self.by_cluster.items())
+            },
+            "cells": [
+                [
+                    category,
+                    cause,
+                    cluster,
+                    _num(tally.messages),
+                    tally.bits,
+                ]
+                for (category, cause, cluster), tally in sorted(
+                    self.by_cell.items()
+                )
+            ],
+            "heatmap": {
+                "bins": self.bins,
+                "side": self._side,
+                "messages": [
+                    [
+                        _num(self.heatmap[row * self.bins + col])
+                        for col in range(self.bins)
+                    ]
+                    for row in range(self.bins)
+                ],
+            },
+            "totals": {
+                category: {
+                    "messages": _num(tally.messages),
+                    "bits": tally.bits,
+                }
+                for category, tally in sorted(self.totals.items())
+            },
+        }
+
+
+def attach_attribution(sim, maintenance=None, bins: int = 8):
+    """Attach an :class:`OverheadLedger` to ``sim`` when telemetry is on.
+
+    The ledger is attached when the simulation is traced or the ambient
+    context carries a shared metrics registry (``--metrics-json`` /
+    ``--metrics-openmetrics``); otherwise this is a no-op returning
+    ``None`` — the zero-cost default, matching
+    :func:`~repro.obs.health.attach_run_health`.  Strictness follows
+    the ambient :class:`~repro.obs.context.RunHealthConfig`.
+
+    Must be called after the message-producing protocols are attached
+    (so cluster lookups see the maintained state) — in practice right
+    next to the other ``attach_*`` helpers.
+    """
+    context = obs_context.current()
+    if not sim.tracer.enabled and context.registry is None:
+        return None
+    ledger = OverheadLedger(
+        maintenance=maintenance,
+        bins=bins,
+        registry=context.registry,
+        strict=context.health.strict if context.health is not None else False,
+        labels={"sim": str(sim.sim_id)} if context.registry is not None else None,
+    )
+    sim.attach(ledger)
+    return ledger

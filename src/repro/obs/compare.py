@@ -13,7 +13,10 @@ metrics and diffs them:
   is what lets an overhead delta be *attributed*: the paper's model
   says CLUSTER and ROUTE overhead follow maintenance-event rates, so a
   run whose cluster overhead moved together with its head-change rate
-  has a mechanistic explanation, not just a diff;
+  has a mechanistic explanation, not just a diff — and when both traces
+  carry overhead-attribution ledgers the delta is further decomposed
+  into exact per-cause contributions (head-merge cascades,
+  reaffiliations, ...);
 * **residual verdicts** — the per-category ``kind="final"`` outcomes of
   the analytic-residual monitor (a verdict *flip* between runs always
   fails the gate, whatever the threshold);
@@ -81,6 +84,10 @@ class TraceDigest:
     rates: dict[str, float] = field(default_factory=dict)
     #: Cluster-dynamics aggregates (rates are per node per sim-time).
     dynamics: dict[str, float] = field(default_factory=dict)
+    #: ``(category, cause) -> `` mean per-node msg frequency across
+    #: runs, from the overhead-attribution ledger (empty for traces
+    #: recorded before the ``attribution`` event existed).
+    causes: dict[tuple[str, str], float] = field(default_factory=dict)
     #: ``category -> `` every residual final verdict was OK.
     residuals: dict[str, bool] = field(default_factory=dict)
     #: Per-phase wall-clock seconds from ``resource_sample`` deltas.
@@ -108,12 +115,15 @@ class TraceDigest:
         }
 
         windows: dict[int, list[dict]] = {}
+        ledgers: dict[int, dict] = {}
         for record in read_trace(path):
             event = record.get("event")
             if event == "cluster_window":
                 windows.setdefault(int(record.get("sim", 0)), []).append(
                     record
                 )
+            elif event == "attribution":
+                ledgers[int(record.get("sim", 0))] = record
             elif event == "residual" and record.get("kind") == "final":
                 category = str(record.get("category", "?"))
                 digest.residuals[category] = digest.residuals.get(
@@ -125,6 +135,7 @@ class TraceDigest:
                         digest.phases.get(phase, 0.0) + float(seconds)
                     )
         digest.dynamics = _dynamics_aggregates(windows, summary)
+        digest.causes = _cause_rates(ledgers, summary)
         return digest
 
 
@@ -169,6 +180,34 @@ def _dynamics_aggregates(windows: dict[int, list[dict]], summary) -> dict:
     if all_clusters:
         aggregates["mean_clusters"] = sum(all_clusters) / len(all_clusters)
     return aggregates
+
+
+def _cause_rates(ledgers: dict[int, dict], summary) -> dict:
+    """Per-(category, cause) per-node-per-time rates across runs.
+
+    A cause absent from one run counts as rate zero there, so the
+    averages stay comparable between digests with different cause sets.
+    """
+    per_run: list[dict[tuple[str, str], float]] = []
+    for sim, record in sorted(ledgers.items()):
+        run = summary.runs.get(sim)
+        if run is None or not run.n_nodes or not run.measured_time:
+            continue
+        scale = run.n_nodes * run.measured_time
+        per_run.append(
+            {
+                (category, cause): tally["messages"] / scale
+                for category, breakdown in record.get("causes", {}).items()
+                for cause, tally in breakdown.items()
+            }
+        )
+    if not per_run:
+        return {}
+    keys = sorted(set().union(*per_run))
+    return {
+        key: sum(rates.get(key, 0.0) for rates in per_run) / len(per_run)
+        for key in keys
+    }
 
 
 @dataclass
@@ -225,11 +264,17 @@ class TraceComparison:
         return not self.exceeding() and not self.verdict_changes
 
     def attributions(self) -> list[str]:
-        """Overhead deltas explained by cluster-dynamics deltas.
+        """Overhead deltas explained down to their causes.
 
-        For each attributable overhead category whose rate moved beyond
-        the threshold, name the dynamics rates that moved with it (the
-        paper's causal account of CLUSTER/ROUTE overhead).
+        Two levels.  For each attributable overhead category whose rate
+        moved beyond the threshold, name the cluster-dynamics rates
+        that moved with it (the paper's causal account of CLUSTER/ROUTE
+        overhead).  Then, when both traces carry overhead-attribution
+        ledgers, decompose *every* category's delta into exact
+        per-cause contributions — e.g. a +12% cluster rate arriving as
+        "head-merge-cascade +9.0%, reaffiliation +3.0%" — expressed as
+        shares of A's category rate so they sum to the row's relative
+        delta.
         """
         by_metric = {row.metric: row for row in self.rows}
         lines = []
@@ -257,6 +302,38 @@ class TraceComparison:
                 lines.append(
                     f"{category} rate {_fmt_rel(row.rel)}: no "
                     "cluster-dynamics delta moved with it (unattributed)"
+                )
+        lines.extend(self._cause_attributions(by_metric))
+        return lines
+
+    def _cause_attributions(self, by_metric: dict) -> list[str]:
+        """Per-cause decomposition of every exceeding category delta."""
+        keys = set(self.a.causes) | set(self.b.causes)
+        lines = []
+        for category in sorted({category for category, _cause in keys}):
+            row = by_metric.get(f"rate:{category}")
+            if row is None or row.rel is None or not row.a:
+                continue
+            if abs(row.rel) <= self.threshold:
+                continue
+            contributions = []
+            for cause in sorted(
+                {c for cat, c in keys if cat == category}
+            ):
+                key = (category, cause)
+                delta = self.b.causes.get(key, 0.0) - self.a.causes.get(
+                    key, 0.0
+                )
+                share = delta / abs(row.a)
+                if abs(share) >= 0.005:  # hide sub-half-percent noise
+                    contributions.append(
+                        (abs(share), f"{cause} {_fmt_rel(share)}")
+                    )
+            if contributions:
+                contributions.sort(reverse=True)
+                lines.append(
+                    f"{category} rate {_fmt_rel(row.rel)} by cause: "
+                    + ", ".join(text for _size, text in contributions)
                 )
         return lines
 

@@ -8,6 +8,10 @@ Markdown document with four diagnostic sections per trace:
   (both commands share :func:`~repro.obs.summary.summarize_trace`, so
   the numbers reconcile by construction), and the verdict of the
   events-vs-``run_end`` closed loop;
+* **overhead attribution** — the run-end ``attribution`` ledger: a
+  per-cause breakdown of every message category (whose totals equal the
+  reconciliation section's, by construction), top-K hotspot nodes and
+  clusters, and an ASCII spatial heatmap of where overhead was spent;
 * **cluster dynamics** — per-run totals of the ``cluster_window`` time
   series (head changes, reaffiliations, gateway churn, mean cluster
   count/tenure/diameter), reconciled against the trace's own
@@ -106,6 +110,8 @@ class TraceHealth:
     cache: dict[str, int] = field(default_factory=dict)
     #: ``sim -> list`` of ``cluster_window`` records, in trace order.
     dynamics: dict[int, list[dict]] = field(default_factory=dict)
+    #: ``sim -> `` run-end ``attribution`` record (overhead ledger).
+    attribution: dict[int, dict] = field(default_factory=dict)
 
     def cache_hit_rate(self) -> float | None:
         """Task cache-hit rate, or ``None`` without cache events."""
@@ -152,12 +158,42 @@ class TraceHealth:
                 )
         return found
 
+    def attribution_mismatches(self) -> list[str]:
+        """Ledger totals that fail to reproduce the ``msg_tx`` stream.
+
+        The ledger chains into the same ``MessageStats.on_record`` hook
+        that feeds the trace's ``msg_tx`` events, so the two views must
+        agree message-for-message; any difference means a send site
+        bypassed the hook (or a trace lost records).
+        """
+        found: list[str] = []
+        for sim, record in sorted(self.attribution.items()):
+            if not record.get("reconciled", True):
+                found.append(
+                    f"sim {sim}: overhead attribution failed to reconcile "
+                    f"with the run's message totals"
+                )
+            run = self.summary.runs.get(sim)
+            traced = run.messages if run is not None else {}
+            totals = record.get("totals", {})
+            for category in sorted(set(totals) | set(traced)):
+                ledger = int(totals.get(category, {}).get("messages", 0))
+                streamed = int(traced.get(category, 0))
+                if ledger != streamed:
+                    found.append(
+                        f"sim {sim} {category}: attribution ledger has "
+                        f"{ledger} messages, traced msg_tx stream has "
+                        f"{streamed}"
+                    )
+        return found
+
     # ------------------------------------------------------------------
     def problems(self) -> list[str]:
         """Everything unhealthy about this trace, one line each."""
         path = self.summary.path
         found = [f"{path}: {m}" for m in self.summary.mismatches()]
         found.extend(f"{path}: {m}" for m in self.dynamics_mismatches())
+        found.extend(f"{path}: {m}" for m in self.attribution_mismatches())
         for sim, timeline in sorted(self.audits.items()):
             if timeline.violations:
                 found.append(
@@ -195,6 +231,8 @@ def analyze_trace(path) -> TraceHealth:
         elif event == "cluster_window":
             sim = int(record.get("sim", 0))
             health.dynamics.setdefault(sim, []).append(record)
+        elif event == "attribution":
+            health.attribution[int(record.get("sim", 0))] = record
         elif event == "resource_sample":
             health.resources.append(record)
         elif event in ("cache_hit", "cache_miss", "cache_write"):
@@ -261,6 +299,7 @@ class HealthReport:
         )
         lines.append("")
         lines.extend(self._render_totals(summary))
+        lines.extend(self._render_attribution(trace))
         lines.extend(self._render_dynamics(trace))
         lines.extend(self._render_audits(trace))
         lines.extend(self._render_residuals(trace))
@@ -310,6 +349,134 @@ class HealthReport:
             lines.extend(
                 _table(["sim", "N", "category", "rate"], per_run_rows)
             )
+            lines.append("")
+        return lines
+
+    def _render_attribution(self, trace: TraceHealth) -> list[str]:
+        lines = ["### Overhead attribution", ""]
+        if not trace.attribution:
+            lines.append(
+                "No `attribution` events — run with `--trace` to collect "
+                "the overhead ledger."
+            )
+            lines.append("")
+            return lines
+        # Cause breakdown: per (sim, category) rows whose per-category
+        # totals are the ledger's own `totals` — the exact counters the
+        # reconciliation check pins to the msg_tx stream, so this table
+        # sums to the "Message totals" section by construction.
+        rows = []
+        for sim, record in sorted(trace.attribution.items()):
+            causes = record.get("causes", {})
+            for category in sorted(causes):
+                breakdown = causes[category]
+                category_total = sum(
+                    tally["messages"] for tally in breakdown.values()
+                )
+                for cause in sorted(breakdown):
+                    tally = breakdown[cause]
+                    share = (
+                        tally["messages"] / category_total
+                        if category_total
+                        else 0.0
+                    )
+                    rows.append(
+                        [
+                            sim,
+                            category,
+                            cause,
+                            tally["messages"],
+                            tally["bits"],
+                            f"{share:.1%}",
+                        ]
+                    )
+                totals = record.get("totals", {}).get(category, {})
+                rows.append(
+                    [
+                        sim,
+                        category,
+                        "**total**",
+                        totals.get("messages", category_total),
+                        totals.get("bits"),
+                        "100.0%",
+                    ]
+                )
+        lines.extend(
+            _table(
+                ["sim", "category", "cause", "messages", "bits", "share"],
+                rows,
+            )
+        )
+        lines.append("")
+        lines.extend(self._render_hotspots(trace))
+        lines.extend(self._render_heatmap(trace))
+        mismatches = trace.attribution_mismatches()
+        if mismatches:
+            lines.append("**Attribution reconciliation FAILED:**")
+            lines.extend(f"- {m}" for m in mismatches)
+        else:
+            lines.append(
+                "Reconciliation: the ledger's per-cause totals match the "
+                "run's `MessageStats` counters (and the traced `msg_tx` "
+                "stream) exactly."
+            )
+        lines.append("")
+        return lines
+
+    def _render_hotspots(self, trace: TraceHealth) -> list[str]:
+        lines: list[str] = []
+        for kind, key in (("nodes", "node"), ("clusters", "cluster")):
+            rows = []
+            for sim, record in sorted(trace.attribution.items()):
+                tallies = record.get(kind, {})
+                top = sorted(
+                    tallies.items(),
+                    key=lambda item: (-item[1]["messages"], int(item[0])),
+                )[:5]
+                for name, tally in top:
+                    rows.append(
+                        [sim, int(name), tally["messages"], tally["bits"]]
+                    )
+            if rows:
+                lines.append(f"Top overhead {kind} (by attributed messages):")
+                lines.append("")
+                lines.extend(
+                    _table(["sim", key, "messages", "bits"], rows)
+                )
+                lines.append("")
+        return lines
+
+    def _render_heatmap(self, trace: TraceHealth) -> list[str]:
+        lines: list[str] = []
+        shades = " .:-=+*#%@"
+        for sim, record in sorted(trace.attribution.items()):
+            heatmap = record.get("heatmap") or {}
+            grid = heatmap.get("messages") or []
+            peak = max((max(row) for row in grid if row), default=0)
+            if not peak:
+                continue
+            lines.append(
+                f"Spatial heatmap, sim {sim} "
+                f"({heatmap.get('bins')}x{heatmap.get('bins')} cells over "
+                f"side {_fmt(heatmap.get('side'))}; peak "
+                f"{_fmt(float(peak))} messages/cell):"
+            )
+            lines.append("")
+            lines.append("```")
+            for row in grid:
+                lines.append(
+                    "".join(
+                        shades[
+                            min(
+                                len(shades) - 1,
+                                int(value / peak * (len(shades) - 1)),
+                            )
+                        ]
+                        * 2
+                        for value in row
+                    )
+                )
+            lines.append("```")
             lines.append("")
         return lines
 
@@ -529,7 +696,15 @@ class HealthReport:
 
     def _render_cache(self, trace: TraceHealth) -> list[str]:
         if not trace.cache:
-            return []
+            # Degrade to an explicit note rather than silently omitting
+            # the section (or printing a meaningless 0/0 rate).
+            return [
+                "### Result store",
+                "",
+                "No `cache_*` events — run without `--store`, or the "
+                "store was never consulted.",
+                "",
+            ]
         hits = trace.cache.get("cache_hit", 0)
         misses = trace.cache.get("cache_miss", 0)
         writes = trace.cache.get("cache_write", 0)

@@ -68,6 +68,12 @@ Event vocabulary (``TRACE_EVENTS``):
 ``gateway_change``
     A node became (``kind="add"``) or stopped being (``kind="drop"``)
     a gateway, observed at a cluster-window boundary.
+``attribution``
+    One run's complete overhead-attribution breakdown (see
+    :mod:`repro.obs.attribution`): per-cause tallies by category
+    (``causes``), per-node and per-cluster tallies, the spatial
+    heatmap, record-order category ``totals``, and the
+    ``reconciled`` verdict against the run's ``MessageStats``.
 """
 
 from __future__ import annotations
@@ -117,6 +123,7 @@ TRACE_EVENTS = frozenset(
         "span_link",
         "cluster_window",
         "gateway_change",
+        "attribution",
     }
 )
 

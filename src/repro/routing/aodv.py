@@ -20,6 +20,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.attribution import (
+    CAUSE_LINK_BREAK_REPAIR,
+    CAUSE_ROUTE_DISCOVERY,
+    attributed,
+)
 from ..sim.engine import Protocol, Simulation
 from .messages import rerr_bits, rrep_bits, rreq_bits
 
@@ -78,7 +83,10 @@ class AodvProtocol(Protocol):
         messages = sim.params.messages
         self.discoveries += 1
         if destination not in parents:
-            sim.stats.record("aodv", rreq_count, rreq_count * rreq_bits(messages))
+            with attributed(sim, CAUSE_ROUTE_DISCOVERY, node=source):
+                sim.stats.record(
+                    "aodv", rreq_count, rreq_count * rreq_bits(messages)
+                )
             return None
 
         path = [destination]
@@ -87,11 +95,13 @@ class AodvProtocol(Protocol):
         path.reverse()
 
         rrep_count = len(path) - 1
-        sim.stats.record(
-            "aodv",
-            rreq_count + rrep_count,
-            rreq_count * rreq_bits(messages) + rrep_count * rrep_bits(messages),
-        )
+        with attributed(sim, CAUSE_ROUTE_DISCOVERY, node=source):
+            sim.stats.record(
+                "aodv",
+                rreq_count + rrep_count,
+                rreq_count * rreq_bits(messages)
+                + rrep_count * rrep_bits(messages),
+            )
         # Install forward entries along the path (toward the destination)
         # and reverse entries (toward the source), as the RREP does.
         for position, node in enumerate(path[:-1]):
@@ -134,8 +144,12 @@ class AodvProtocol(Protocol):
     # Maintenance
     # ------------------------------------------------------------------
     def on_link_down(self, sim: Simulation, u: int, v: int, time: float) -> None:
-        """Invalidate entries through the broken link and emit RERRs."""
-        rerr_count = 0
+        """Invalidate entries through the broken link and emit RERRs.
+
+        RERRs are recorded per transmitting endpoint so the overhead
+        ledger can charge each node for its own notifications; the
+        per-category totals are unchanged.
+        """
         for node, gone in ((u, v), (v, u)):
             dead = [
                 destination
@@ -144,11 +158,13 @@ class AodvProtocol(Protocol):
             ]
             for destination in dead:
                 del self.routes[node][destination]
-                rerr_count += 1
-        if rerr_count:
-            sim.stats.record(
-                "aodv_rerr", rerr_count, rerr_count * rerr_bits(sim.params.messages)
-            )
+            if dead:
+                with attributed(sim, CAUSE_LINK_BREAK_REPAIR, node=node):
+                    sim.stats.record(
+                        "aodv_rerr",
+                        len(dead),
+                        len(dead) * rerr_bits(sim.params.messages),
+                    )
 
     # ------------------------------------------------------------------
     @property

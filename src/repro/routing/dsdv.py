@@ -32,6 +32,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.attribution import (
+    CAUSE_DSDV_PERIODIC,
+    CAUSE_DSDV_TRIGGERED,
+    attributed,
+)
 from ..sim.engine import Protocol, Simulation
 from .messages import RouteEntry, route_update_bits
 
@@ -255,7 +260,11 @@ class DsdvProtocol(Protocol):
         # re-enter the pending set and broadcast on the *next* step.
         self._pending_triggered.clear()
         for node in senders:
-            self._broadcast(sim, int(node))
+            cause = (
+                CAUSE_DSDV_PERIODIC if node in due else CAUSE_DSDV_TRIGGERED
+            )
+            with attributed(sim, cause, node=int(node)):
+                self._broadcast(sim, int(node))
 
     # ------------------------------------------------------------------
     # Routing service

@@ -17,6 +17,7 @@ against the flat baselines.
 
 from __future__ import annotations
 
+from ..obs.attribution import CAUSE_LINK_BREAK_REPAIR, attributed
 from ..sim.engine import Protocol, Simulation
 from ..clustering.maintenance import ClusterMaintenanceProtocol
 from .inter_cluster import DiscoveryResult, discover_route
@@ -89,9 +90,15 @@ class HybridRoutingProtocol(Protocol):
                 upstream += 1
                 if (a, b) in ((u, v), (v, u)):
                     break
-            sim.stats.record(
-                "route_error", upstream, upstream * rerr_bits(sim.params.messages)
-            )
+            # One RERR transmission per upstream node of the break.
+            with attributed(
+                sim, CAUSE_LINK_BREAK_REPAIR, nodes=path[:upstream]
+            ):
+                sim.stats.record(
+                    "route_error",
+                    upstream,
+                    upstream * rerr_bits(sim.params.messages),
+                )
 
     # ------------------------------------------------------------------
     @property

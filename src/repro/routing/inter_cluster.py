@@ -21,6 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.attribution import (
+    CAUSE_BROADCAST_FLOOD,
+    CAUSE_ROUTE_DISCOVERY,
+    attributed,
+)
 from ..sim.engine import Simulation
 from ..clustering.base import ClusterState, Role
 from .messages import rrep_bits, rreq_bits
@@ -125,7 +130,10 @@ def broadcast_flood(
     result = BroadcastResult(reached=len(reached), transmissions=transmissions)
     if record_stats:
         bits = result.transmissions * rreq_bits(sim.params.messages)
-        sim.stats.record("broadcast", result.transmissions, bits)
+        # Charged to the initiating source: the flood exists because
+        # this node broadcast, even though relays transmit it.
+        with attributed(sim, CAUSE_BROADCAST_FLOOD, node=source):
+            sim.stats.record("broadcast", result.transmissions, bits)
     return result
 
 
@@ -189,7 +197,9 @@ def discover_route(
             result.rreq_transmissions * rreq_bits(messages)
             + result.rrep_transmissions * rrep_bits(messages)
         )
-        sim.stats.record(
-            "route_discovery", result.total_transmissions, bits
-        )
+        # Charged to the requesting source (see broadcast_flood).
+        with attributed(sim, CAUSE_ROUTE_DISCOVERY, node=source):
+            sim.stats.record(
+                "route_discovery", result.total_transmissions, bits
+            )
     return result

@@ -21,6 +21,7 @@ from collections import deque
 
 import numpy as np
 
+from ..obs.attribution import CAUSE_INTRA_CLUSTER_UPDATE, attributed
 from ..sim.engine import Protocol, Simulation
 from ..clustering.maintenance import ClusterMaintenanceProtocol
 from .messages import route_update_bits
@@ -83,7 +84,11 @@ class IntraClusterRoutingProtocol(Protocol):
         size = len(cluster)
         entries = size if self.full_table else 1
         bits = route_update_bits(sim.params.messages, entries)
-        sim.stats.record("route", size, size * bits)
+        # One transmission per cluster node, charged to each evenly.
+        with attributed(
+            sim, CAUSE_INTRA_CLUSTER_UPDATE, nodes=cluster, cluster=int(head)
+        ):
+            sim.stats.record("route", size, size * bits)
 
     def _handle_link_event(self, sim: Simulation, u: int, v: int) -> None:
         state = self.maintenance.state

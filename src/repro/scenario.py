@@ -289,6 +289,11 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
     from .clustering.stability import attach_cluster_dynamics
 
     attach_cluster_dynamics(sim, maintenance)
+    # Overhead attribution (per-cause / per-node / per-cluster ledger)
+    # when the run is traced or exporting metrics; no-op otherwise.
+    from .obs.attribution import attach_attribution
+
+    attach_attribution(sim, maintenance)
 
     traffic_protocol = None
     if config.flows:

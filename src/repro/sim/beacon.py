@@ -20,6 +20,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.attribution import (
+    CAUSE_EVENT_HELLO,
+    CAUSE_PERIODIC_HELLO,
+    attributed,
+)
 from .engine import Protocol, Simulation
 
 __all__ = ["HelloProtocol"]
@@ -72,7 +77,8 @@ class HelloProtocol(Protocol):
             self._next_beacon = phases
 
     def _send_hello(self, sim: Simulation, node: int, time: float) -> None:
-        sim.stats.record("hello", 1, sim.params.messages.p_hello)
+        with attributed(sim, CAUSE_PERIODIC_HELLO, node=node):
+            sim.stats.record("hello", 1, sim.params.messages.p_hello)
         # Every current neighbor of `node` hears the beacon.
         for neighbor in sim.neighbors_of(node):
             self.neighbor_lists[int(neighbor)][node] = time
@@ -86,7 +92,8 @@ class HelloProtocol(Protocol):
         if self.mode != "event":
             return
         # Both endpoints announce themselves; each learns the other.
-        sim.stats.record("hello", 2, 2 * sim.params.messages.p_hello)
+        with attributed(sim, CAUSE_EVENT_HELLO, nodes=(u, v)):
+            sim.stats.record("hello", 2, 2 * sim.params.messages.p_hello)
         self.neighbor_lists[u][v] = time
         self.neighbor_lists[v][u] = time
 

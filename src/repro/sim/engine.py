@@ -201,6 +201,10 @@ class Simulation:
             self.stats = MessageStats(params.n_nodes)
         if self.tracer.enabled:
             self.stats.on_record = self._trace_msg_tx
+        #: Overhead-attribution ledger, set by
+        #: :func:`repro.obs.attribution.attach_attribution`; ``None``
+        #: (the default) makes every ``attributed(...)`` scope a no-op.
+        self.attribution = None
         #: Hierarchical causal span stack (run → phase → step →
         #: handler) writing to the same tracer; see repro.obs.spans.
         self.spans = SpanTracker(self.tracer, self.sim_id)

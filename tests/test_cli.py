@@ -258,6 +258,100 @@ class TestMain:
     def test_bench_bad_modes(self, capsys):
         assert main(["bench", "--modes", "edge,warp"]) == 2
 
+    def test_bench_sweep_jobs_empty_entry(self, capsys):
+        assert main(["bench", "--sweep-jobs", "1,,0"]) == 2
+        assert "empty entry" in capsys.readouterr().err
+
+    def test_bench_sweep_jobs_zero_or_negative(self, capsys):
+        assert main(["bench", "--sweep-jobs", "0"]) == 2
+        assert ">= 1" in capsys.readouterr().err
+        assert main(["bench", "--sweep-jobs", "2,-1"]) == 2
+        assert ">= 1" in capsys.readouterr().err
+
+    def test_bench_sweep_jobs_not_integer(self, capsys):
+        assert main(["bench", "--sweep-jobs", "1,two"]) == 2
+        assert "must be integers" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def _simulate_traced(self, tmp_path, extra=()):
+        scenario = tmp_path / "s.json"
+        scenario.write_text(
+            '{"name": "m", "n_nodes": 30, "range_fraction": 0.2, '
+            '"velocity_fraction": 0.05, "duration": 2.0, "warmup": 0.5}'
+        )
+        trace = tmp_path / "t.jsonl"
+        code = main(
+            ["simulate", str(scenario), "--trace", str(trace), *extra]
+        )
+        assert code == 0
+        return trace
+
+    def test_metrics_exports_openmetrics_text(self, tmp_path, capsys):
+        trace = self._simulate_traced(tmp_path)
+        assert main(["metrics", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "# TYPE overhead_messages counter" in out
+        assert "# HELP overhead_messages " in out
+        assert 'overhead_messages_total{cause="' in out
+
+    def test_metrics_out_file_and_totals_match_summary(self, tmp_path, capsys):
+        from repro.obs import summarize_trace
+
+        trace = self._simulate_traced(tmp_path)
+        out_path = tmp_path / "m.om"
+        assert main(["metrics", str(trace), "--out", str(out_path)]) == 0
+        text = out_path.read_text()
+        exported = sum(
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("overhead_messages_total{")
+        )
+        assert exported == sum(summarize_trace(trace).messages.values())
+
+    def test_metrics_missing_file_is_input_error(self, tmp_path, capsys):
+        assert main(["metrics", str(tmp_path / "none.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_live_export_equals_trace_export(self, tmp_path, capsys):
+        live = tmp_path / "live.om"
+        trace = self._simulate_traced(
+            tmp_path, extra=["--metrics-openmetrics", str(live)]
+        )
+        assert main(["metrics", str(trace)]) == 0
+        rebuilt = capsys.readouterr().out
+
+        def overhead_lines(text):
+            return sorted(
+                line
+                for line in text.splitlines()
+                if line.startswith(("overhead_messages_total{",
+                                    "overhead_bits_total{"))
+                and '"node"' not in line
+            )
+
+        live_cells = [
+            line
+            for line in overhead_lines(live.read_text())
+            if "node" not in line.split("{")[0]
+        ]
+        rebuilt_cells = [
+            line
+            for line in overhead_lines(rebuilt)
+            if "node" not in line.split("{")[0]
+        ]
+        assert live_cells and live_cells == rebuilt_cells
+
+    def test_report_notes_missing_cache_events(self, tmp_path, capsys):
+        trace = self._simulate_traced(tmp_path)
+        main(["report", str(trace)])
+        out = capsys.readouterr().out
+        assert "### Result store" in out
+        assert "No `cache_*` events" in out
+        assert "### Overhead attribution" in out
+        assert "**total**" in out
+
 
 class TestVersion:
     def test_version_flag(self, capsys):
