@@ -447,8 +447,11 @@ def run_bench(
     """Run the requested benchmark stages and assemble the report."""
     import os
 
+    from ..sim.engine import ENGINE_SCHEMA_VERSION
+
     payload: dict = {
         "schema_version": 2,
+        "engine_schema_version": ENGINE_SCHEMA_VERSION,
         "machine": {
             "platform": platform.platform(),
             "python": sys.version.split()[0],

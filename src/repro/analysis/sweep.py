@@ -123,6 +123,7 @@ def _run_once(
     warmup: float,
     epoch: float,
     algorithm: ClusteringAlgorithm,
+    beacon: dict | None = None,
 ) -> tuple[dict[str, float], float]:
     """One simulation run; returns (frequencies, measured head ratio)."""
     sim = Simulation(
@@ -130,7 +131,12 @@ def _run_once(
         EpochRandomWaypointModel(params.velocity, epoch=epoch),
         seed=seed,
     )
-    sim.attach(HelloProtocol(mode="event"))
+    if beacon is not None:
+        from ..sim.beacon import hello_from_config
+
+        sim.attach(hello_from_config(beacon))
+    else:
+        sim.attach(HelloProtocol(mode="event"))
     maintenance = ClusterMaintenanceProtocol(algorithm)
     intra = IntraClusterRoutingProtocol(maintenance)
     sim.attach(intra)  # before maintenance: pre-repair membership view
@@ -175,9 +181,15 @@ def _run_once(
 
 
 def _run_once_task(task) -> tuple[dict[str, float], float]:
-    """Picklable per-seed worker for :func:`measure_point`."""
-    params, seed, duration, warmup, epoch, algorithm = task
-    return _run_once(params, seed, duration, warmup, epoch, algorithm)
+    """Picklable per-seed worker for :func:`measure_point`.
+
+    Tasks are 6-tuples historically; a beacon/control spec rides as an
+    optional 7th element so classic tasks keep their pre-existing store
+    fingerprints while beacon-configured runs get distinct ones.
+    """
+    params, seed, duration, warmup, epoch, algorithm = task[:6]
+    beacon = task[6] if len(task) > 6 else None
+    return _run_once(params, seed, duration, warmup, epoch, algorithm, beacon)
 
 
 def measure_point(
@@ -191,6 +203,7 @@ def measure_point(
     convention: str = "consistent",
     jobs: int | None = None,
     store=None,
+    beacon: dict | None = None,
 ) -> SweepPoint:
     """Measure one parameter point (averaged over ``seeds`` runs).
 
@@ -200,10 +213,19 @@ def measure_point(
     ``store`` (default: the ambient :func:`repro.store.use_store`)
     memoizes each per-seed run by content address, so repeating a point
     — or resuming an interrupted sweep — skips completed simulations.
+    ``beacon`` is an optional beacon/control block (see
+    :func:`repro.sim.beacon.hello_from_config`) replacing the default
+    event-mode HELLO; it becomes part of each task's store identity, so
+    cached event-mode results are never served for a policy run.
     """
     if seeds < 1:
         raise ValueError(f"seeds must be positive, got {seeds}")
     algorithm = algorithm or LowestIdClustering()
+    if beacon is not None:
+        # Validate the block once, up front, instead of once per worker.
+        from ..sim.beacon import hello_from_config
+
+        hello_from_config(beacon)
     logger.debug(
         "measuring point value=%g over %d seeds (N=%d, jobs=%s)",
         parameter_value,
@@ -215,6 +237,8 @@ def measure_point(
         _run_once_task,
         [
             (params, seed, duration, warmup, epoch, algorithm)
+            if beacon is None
+            else (params, seed, duration, warmup, epoch, algorithm, beacon)
             for seed in range(seeds)
         ],
         jobs=jobs,

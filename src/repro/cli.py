@@ -269,6 +269,7 @@ def _add_logging_flags(parser: argparse.ArgumentParser) -> None:
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     from . import __version__
+    from .sim.engine import ENGINE_SCHEMA_VERSION
 
     parser = argparse.ArgumentParser(
         prog="repro-manet",
@@ -280,7 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version",
         action="version",
-        version=f"repro-manet {__version__}",
+        version=(
+            f"repro-manet {__version__} "
+            f"(engine schema {ENGINE_SCHEMA_VERSION})"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -414,6 +418,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seeds", type=int, default=2, help="seeds per point")
     sweep.add_argument(
         "--duration", type=float, default=10.0, help="measured time per run"
+    )
+    sweep.add_argument(
+        "--beacon-policy",
+        metavar="POLICY",
+        default=None,
+        help=(
+            "replace the event-mode HELLO with a beacon policy from "
+            "repro.control (fixed, analytic-rate, churn-feedback, "
+            "staleness-bounded); part of each task's store identity"
+        ),
+    )
+    sweep.add_argument(
+        "--beacon-interval",
+        type=float,
+        default=1.0,
+        help="base beacon interval for --beacon-policy (default 1.0)",
     )
     _add_jobs_flag(sweep)
     _add_store_flags(sweep)
@@ -624,6 +644,22 @@ def _run_sweep(args) -> int:
         print("no sweep values given")
         return 2
     store = _resolve_store(args)
+    beacon = None
+    if args.beacon_policy is not None:
+        beacon = {
+            "mode": "adaptive",
+            "policy": {
+                "policy": args.beacon_policy,
+                "interval": args.beacon_interval,
+            },
+        }
+        from .sim.beacon import hello_from_config
+
+        try:
+            hello_from_config(beacon)
+        except ValueError as error:
+            print(f"bad --beacon-policy: {error}")
+            return 2
     base = NetworkParameters.from_fractions(
         n_nodes=args.n, range_fraction=args.rf, velocity_fraction=args.vf
     )
@@ -634,16 +670,19 @@ def _run_sweep(args) -> int:
         MetricsRegistry() if args.metrics_openmetrics is not None else None
     )
     with observe(registry=registry):
-        result = run_sweep(
-            args.parameter,
-            base,
-            values,
+        sweep_kwargs = dict(
             seeds=args.seeds,
             duration=args.duration,
             warmup=args.duration * 0.15,
             jobs=args.jobs,
             store=store,
         )
+        if beacon is not None:
+            # Only passed when set: a literal ``beacon=None`` would
+            # enter the sweep manifest identity and orphan every
+            # pre-existing event-mode manifest.
+            sweep_kwargs["beacon"] = beacon
+        result = run_sweep(args.parameter, base, values, **sweep_kwargs)
     if registry is not None:
         from .obs.openmetrics import write_openmetrics
 

@@ -1,0 +1,116 @@
+"""Per-node control signals tapped from the engine's link-event stream.
+
+:class:`ControlSignals` registers itself as a *signal tap* on a
+:class:`~repro.sim.engine.Simulation` (see
+:meth:`~repro.sim.engine.Simulation.add_signal_tap`): after every step
+the engine hands it the step's :class:`~repro.spatial.LinkEvents`,
+*before* protocol hooks run, so a beacon policy deciding a node's next
+interval at ``on_step_end`` always sees signals that include the
+current step.
+
+Events are accumulated per node over a fixed-length window of simulated
+time; at each window close the raw per-window rate is folded into an
+EWMA, and the per-node degree vector is refreshed.  Policies therefore
+read *windowed* link-change rates — smooth enough to act on, fresh
+enough to track churn — without ever walking the event stream
+themselves.
+
+Taps are pure observers: they draw no randomness, record no messages
+and emit no trace events, so attaching one cannot perturb a run's
+results (``ENGINE_SCHEMA_VERSION`` is unaffected).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ControlSignals"]
+
+
+class ControlSignals:
+    """Windowed per-node link-event rates for beacon policies.
+
+    Parameters
+    ----------
+    sim:
+        The simulation to tap.  Registered via ``sim.add_signal_tap``.
+    window:
+        Window length in simulated time over which per-node link events
+        are counted before being folded into the EWMA.
+    alpha:
+        EWMA weight of the newest window (``1.0`` = no smoothing).
+    """
+
+    def __init__(self, sim, window: float = 1.0, alpha: float = 0.5) -> None:
+        if window <= 0.0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.sim = sim
+        self.n_nodes = int(sim.n_nodes)
+        self.window = float(window)
+        self.alpha = float(alpha)
+        #: Network parameters of the tapped simulation (policies read
+        #: ``tx_range`` / ``velocity`` for the analytic rates).
+        self.params = sim.params
+        #: EWMA per-node link-change rate (generations + breaks per
+        #: unit simulated time).  Zero until the first window closes.
+        self.rates = np.zeros(self.n_nodes, dtype=float)
+        #: Per-node degree snapshot, refreshed at attach and at every
+        #: window close (not every step — policies act per window).
+        self.degrees = sim.degrees().astype(float)
+        #: Number of windows folded into :attr:`rates` so far.
+        self.windows_closed = 0
+        #: Raw aggregates of the last closed window (``None`` before
+        #: the first close) — the payload of ``control_window`` events.
+        self.last_window: dict | None = None
+        self._counts = np.zeros(self.n_nodes, dtype=float)
+        self._window_start = float(sim.time)
+        sim.add_signal_tap(self._on_events)
+
+    # ------------------------------------------------------------------
+    def _on_events(self, sim, events) -> None:
+        """Engine tap: fold one step's link events into the window."""
+        if events.generation_count:
+            self._counts += np.bincount(
+                events.generated.ravel(), minlength=self.n_nodes
+            )
+        if events.break_count:
+            self._counts += np.bincount(
+                events.broken.ravel(), minlength=self.n_nodes
+            )
+        elapsed = sim.time - self._window_start
+        # Tolerance absorbs float drift from repeated `time += dt`.
+        if elapsed + 1e-9 < self.window:
+            return
+        measured = self._counts / elapsed
+        if self.windows_closed == 0:
+            # Seed the EWMA from the first full window rather than
+            # decaying up from the zero prior.
+            self.rates = measured
+        else:
+            self.rates = self.alpha * measured + (1.0 - self.alpha) * self.rates
+        self.degrees = sim.degrees().astype(float)
+        self.windows_closed += 1
+        self.last_window = {
+            "start": self._window_start,
+            "elapsed": float(elapsed),
+            "events": float(self._counts.sum()),
+            "mean_rate": float(measured.mean()),
+            "max_rate": float(measured.max()) if self.n_nodes else 0.0,
+        }
+        self._counts = np.zeros(self.n_nodes, dtype=float)
+        self._window_start = float(sim.time)
+
+    # ------------------------------------------------------------------
+    def link_change_rate(self, node: int) -> float:
+        """EWMA link-change rate (gen + brk) of ``node``, events per time."""
+        return float(self.rates[node])
+
+    def degree(self, node: int) -> float:
+        """Degree of ``node`` at the last window close."""
+        return float(self.degrees[node])
+
+    def mean_link_change_rate(self) -> float:
+        """Network-mean EWMA link-change rate."""
+        return float(self.rates.mean()) if self.n_nodes else 0.0

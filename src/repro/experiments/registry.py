@@ -20,6 +20,7 @@ from .ablations import (
     run_ablation_conventions,
     run_ablation_route_payload,
 )
+from .adaptive_beaconing import run_adaptive_beaconing
 from .backbone import run_backbone
 from .claims import run_claim1, run_claim2
 from .clustering_comparison import run_clustering_comparison
@@ -56,6 +57,7 @@ EXPERIMENTS: dict[str, Callable[[bool], Table]] = {
     "ablation-route-payload": run_ablation_route_payload,
     "ablation-boundary": run_ablation_boundary,
     "ablation-beacon": run_ablation_beacon,
+    "adaptive-beaconing": run_adaptive_beaconing,
 }
 
 

@@ -31,8 +31,15 @@ control-plane verbs:
 ========================  ==================================================
 cause                     meaning
 ========================  ==================================================
-``periodic-hello``        periodic beacon broadcast (HELLO periodic mode)
+``periodic-hello``        periodic beacon broadcast (HELLO periodic mode,
+                          or the adaptive mode under the ``fixed`` policy)
 ``event-hello``           link-generation HELLO pair (event mode, Eqn 4)
+``adaptive-hello-analytic``  adaptive beacon under the ``analytic-rate``
+                          policy (interval = inverse Eqn-4 rate)
+``adaptive-hello-churn``  adaptive beacon under the ``churn-feedback``
+                          policy (Gavalas-style multiplicative control)
+``adaptive-hello-staleness``  adaptive beacon under the
+                          ``staleness-bounded`` policy
 ``link-break-repair``     route state invalidation after a link break
                           (AODV/hybrid RERR bursts)
 ``head-adjacency-repair``  P1 repair: the losing head's own demotion
@@ -67,6 +74,9 @@ from .audit import AuditError
 __all__ = [
     "CAUSE_PERIODIC_HELLO",
     "CAUSE_EVENT_HELLO",
+    "CAUSE_ANALYTIC_HELLO",
+    "CAUSE_CHURN_HELLO",
+    "CAUSE_STALENESS_HELLO",
     "CAUSE_LINK_BREAK_REPAIR",
     "CAUSE_HEAD_ADJACENCY_REPAIR",
     "CAUSE_REAFFILIATION",
@@ -85,6 +95,9 @@ __all__ = [
 
 CAUSE_PERIODIC_HELLO = "periodic-hello"
 CAUSE_EVENT_HELLO = "event-hello"
+CAUSE_ANALYTIC_HELLO = "adaptive-hello-analytic"
+CAUSE_CHURN_HELLO = "adaptive-hello-churn"
+CAUSE_STALENESS_HELLO = "adaptive-hello-staleness"
 CAUSE_LINK_BREAK_REPAIR = "link-break-repair"
 CAUSE_HEAD_ADJACENCY_REPAIR = "head-adjacency-repair"
 CAUSE_REAFFILIATION = "reaffiliation"
@@ -100,6 +113,9 @@ CAUSE_UNATTRIBUTED = "unattributed"
 KNOWN_CAUSES = (
     CAUSE_PERIODIC_HELLO,
     CAUSE_EVENT_HELLO,
+    CAUSE_ANALYTIC_HELLO,
+    CAUSE_CHURN_HELLO,
+    CAUSE_STALENESS_HELLO,
     CAUSE_LINK_BREAK_REPAIR,
     CAUSE_HEAD_ADJACENCY_REPAIR,
     CAUSE_REAFFILIATION,

@@ -88,6 +88,10 @@ class TraceDigest:
     #: runs, from the overhead-attribution ledger (empty for traces
     #: recorded before the ``attribution`` event existed).
     causes: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: Adaptive-beaconing aggregates from the ``control_window`` series
+    #: (beacon-weighted mean interval, mean staleness, beacons per node
+    #: per sim-time); empty for non-adaptive runs.
+    control: dict[str, float] = field(default_factory=dict)
     #: ``category -> `` every residual final verdict was OK.
     residuals: dict[str, bool] = field(default_factory=dict)
     #: Per-phase wall-clock seconds from ``resource_sample`` deltas.
@@ -115,6 +119,7 @@ class TraceDigest:
         }
 
         windows: dict[int, list[dict]] = {}
+        control_windows: dict[int, list[dict]] = {}
         ledgers: dict[int, dict] = {}
         for record in read_trace(path):
             event = record.get("event")
@@ -122,6 +127,10 @@ class TraceDigest:
                 windows.setdefault(int(record.get("sim", 0)), []).append(
                     record
                 )
+            elif event == "control_window":
+                control_windows.setdefault(
+                    int(record.get("sim", 0)), []
+                ).append(record)
             elif event == "attribution":
                 ledgers[int(record.get("sim", 0))] = record
             elif event == "residual" and record.get("kind") == "final":
@@ -135,6 +144,7 @@ class TraceDigest:
                         digest.phases.get(phase, 0.0) + float(seconds)
                     )
         digest.dynamics = _dynamics_aggregates(windows, summary)
+        digest.control = _control_aggregates(control_windows, summary)
         digest.causes = _cause_rates(ledgers, summary)
         return digest
 
@@ -180,6 +190,39 @@ def _dynamics_aggregates(windows: dict[int, list[dict]], summary) -> dict:
     if all_clusters:
         aggregates["mean_clusters"] = sum(all_clusters) / len(all_clusters)
     return aggregates
+
+
+def _control_aggregates(windows: dict[int, list[dict]], summary) -> dict:
+    """Adaptive-beaconing aggregates, averaged across runs."""
+    per_sim: dict[str, list[float]] = {}
+    for sim, records in sorted(windows.items()):
+        beacons = sum(int(w.get("beacons", 0)) for w in records)
+        interval_sum = sum(
+            float(w.get("mean_interval", 0.0)) * int(w.get("beacons", 0))
+            for w in records
+        )
+        staleness = [float(w.get("staleness", 0.0)) for w in records]
+        if beacons:
+            per_sim.setdefault("mean_interval", []).append(
+                interval_sum / beacons
+            )
+        if staleness:
+            per_sim.setdefault("mean_staleness", []).append(
+                sum(staleness) / len(staleness)
+            )
+        run = summary.runs.get(sim)
+        observed = float(records[-1]["t"]) - float(
+            records[0].get("window_start", records[0]["t"])
+        )
+        if run is not None and run.n_nodes and observed > 0.0:
+            per_sim.setdefault("beacon_rate", []).append(
+                beacons / (run.n_nodes * observed)
+            )
+    return {
+        name: sum(values) / len(values)
+        for name, values in sorted(per_sim.items())
+        if values
+    }
 
 
 def _cause_rates(ledgers: dict[int, dict], summary) -> dict:
@@ -447,6 +490,15 @@ def compare_traces(
                 a=a.dynamics.get(name),
                 b=b.dynamics.get(name),
                 gating=name in gating_dynamics,
+            )
+        )
+    for name in sorted(set(a.control) | set(b.control)):
+        rows.append(
+            ComparisonRow(
+                metric=f"control:{name}",
+                a=a.control.get(name),
+                b=b.control.get(name),
+                gating=False,
             )
         )
     for phase in sorted(set(a.phases) | set(b.phases)):

@@ -110,6 +110,8 @@ class TraceHealth:
     cache: dict[str, int] = field(default_factory=dict)
     #: ``sim -> list`` of ``cluster_window`` records, in trace order.
     dynamics: dict[int, list[dict]] = field(default_factory=dict)
+    #: ``sim -> list`` of ``control_window`` records (adaptive beacon).
+    control: dict[int, list[dict]] = field(default_factory=dict)
     #: ``sim -> `` run-end ``attribution`` record (overhead ledger).
     attribution: dict[int, dict] = field(default_factory=dict)
 
@@ -231,6 +233,9 @@ def analyze_trace(path) -> TraceHealth:
         elif event == "cluster_window":
             sim = int(record.get("sim", 0))
             health.dynamics.setdefault(sim, []).append(record)
+        elif event == "control_window":
+            sim = int(record.get("sim", 0))
+            health.control.setdefault(sim, []).append(record)
         elif event == "attribution":
             health.attribution[int(record.get("sim", 0))] = record
         elif event == "resource_sample":
@@ -263,7 +268,14 @@ class HealthReport:
     # ------------------------------------------------------------------
     def render(self) -> str:
         """The full Markdown document."""
-        lines = ["# Run-health report", ""]
+        from ..sim.engine import ENGINE_SCHEMA_VERSION
+
+        lines = [
+            "# Run-health report",
+            "",
+            f"Engine schema version: {ENGINE_SCHEMA_VERSION}",
+            "",
+        ]
         problems = self.problems()
         if problems:
             lines.append("**Verdict: UNHEALTHY**")
@@ -301,6 +313,7 @@ class HealthReport:
         lines.extend(self._render_totals(summary))
         lines.extend(self._render_attribution(trace))
         lines.extend(self._render_dynamics(trace))
+        lines.extend(self._render_control(trace))
         lines.extend(self._render_audits(trace))
         lines.extend(self._render_residuals(trace))
         lines.extend(self._render_resources(trace))
@@ -536,6 +549,69 @@ class HealthReport:
                 "`head_change` / `cluster_reaffiliation` / "
                 "`gateway_change` event counts exactly."
             )
+        lines.append("")
+        return lines
+
+    def _render_control(self, trace: TraceHealth) -> list[str]:
+        lines = ["### Adaptive beaconing", ""]
+        if not trace.control:
+            lines.append(
+                "No `control_window` events — run without an adaptive "
+                "beacon policy (or untraced)."
+            )
+            lines.append("")
+            return lines
+        rows = []
+        for sim, windows in sorted(trace.control.items()):
+            beacons = sum(int(w.get("beacons", 0)) for w in windows)
+            interval_sum = sum(
+                float(w.get("mean_interval", 0.0)) * int(w.get("beacons", 0))
+                for w in windows
+            )
+            active = [w for w in windows if int(w.get("beacons", 0))]
+            staleness = [float(w.get("staleness", 0.0)) for w in windows]
+            rows.append(
+                [
+                    sim,
+                    windows[0].get("policy", "?"),
+                    len(windows),
+                    beacons,
+                    interval_sum / beacons if beacons else None,
+                    min(
+                        (float(w["min_interval"]) for w in active),
+                        default=None,
+                    ),
+                    max(
+                        (float(w["max_interval"]) for w in active),
+                        default=None,
+                    ),
+                    sum(staleness) / len(staleness) if staleness else None,
+                    sum(float(w.get("mean_rate", 0.0)) for w in windows)
+                    / len(windows),
+                ]
+            )
+        lines.extend(
+            _table(
+                [
+                    "sim",
+                    "policy",
+                    "windows",
+                    "beacons",
+                    "mean interval",
+                    "min interval",
+                    "max interval",
+                    "mean staleness",
+                    "mean churn rate",
+                ],
+                rows,
+            )
+        )
+        lines.append("")
+        lines.append(
+            "Staleness is the mean per-node neighbor-table error count "
+            "sampled at each control-window close; churn rate is the "
+            "windowed per-node link-change rate the policies acted on."
+        )
         lines.append("")
         return lines
 

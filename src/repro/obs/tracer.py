@@ -68,6 +68,12 @@ Event vocabulary (``TRACE_EVENTS``):
 ``gateway_change``
     A node became (``kind="add"``) or stopped being (``kind="drop"``)
     a gateway, observed at a cluster-window boundary.
+``control_window``
+    One closed window of the adaptive-beaconing control loop (see
+    :mod:`repro.control`): beacon count, interval statistics, measured
+    mean/max link-change rates, mean neighbor-table staleness and mean
+    advertised timeout over ``[window_start, t)``.  Emitted only when
+    an *adaptive* beacon policy drives the HELLO protocol.
 ``attribution``
     One run's complete overhead-attribution breakdown (see
     :mod:`repro.obs.attribution`): per-cause tallies by category
@@ -122,6 +128,7 @@ TRACE_EVENTS = frozenset(
         "span_end",
         "span_link",
         "cluster_window",
+        "control_window",
         "gateway_change",
         "attribution",
     }

@@ -126,6 +126,11 @@ class ScenarioConfig:
     clustering: dict = field(default_factory=lambda: {"algorithm": "lid"})
     routing: str = "hybrid"
     hello: dict = field(default_factory=lambda: {"mode": "event"})
+    #: Optional beacon/control block (see
+    #: :func:`repro.sim.beacon.hello_from_config`); when present it
+    #: supersedes the legacy ``hello`` block and unlocks
+    #: ``mode: "adaptive"`` with a policy spec.
+    beacon: dict | None = None
     boundary: str = "torus"
     duration: float = 20.0
     warmup: float = 2.0
@@ -146,6 +151,13 @@ class ScenarioConfig:
             )
         if self.duration <= 0.0 or self.warmup < 0.0:
             raise ValueError("duration must be positive, warmup non-negative")
+        if self.beacon is not None:
+            # Build-and-discard: surfaces unknown keys, unknown policy
+            # names and invalid parameters at load time, with the same
+            # errors the runner would hit.
+            from .sim.beacon import hello_from_config
+
+            hello_from_config(self.beacon)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioConfig":
@@ -163,6 +175,10 @@ class ScenarioConfig:
                 f"valid keys are: {sorted(known)}"
             )
         return cls(**data)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view; ``from_dict`` round-trips it."""
+        return asdict(self)
 
     def network_parameters(self) -> NetworkParameters:
         """The derived :class:`NetworkParameters`."""
@@ -241,11 +257,16 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
     needs_clustering = config.routing == "hybrid"
     hello_mode = config.hello.get("mode", "event")
     if config.routing in ("hybrid", "aodv") or config.routing == "none":
-        sim.attach(
-            HelloProtocol(
-                hello_mode, interval=config.hello.get("interval", 1.0)
+        if config.beacon is not None:
+            from .sim.beacon import hello_from_config
+
+            sim.attach(hello_from_config(config.beacon))
+        else:
+            sim.attach(
+                HelloProtocol(
+                    hello_mode, interval=config.hello.get("interval", 1.0)
+                )
             )
-        )
     if needs_clustering or config.routing == "none":
         algorithm_spec = dict(config.clustering)
         algorithm_name = algorithm_spec.pop("algorithm", "lid")

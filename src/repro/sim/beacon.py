@@ -1,6 +1,7 @@
 """HELLO beaconing and neighbor discovery.
 
-Two operating modes, matching the paper's HELLO analysis (Section 3.5.1):
+Three operating modes, matching the paper's HELLO analysis (Section
+3.5.1) and the adaptive control plane built on top of it:
 
 * ``event`` — the paper's lower bound: a node transmits a HELLO exactly
   when it gains a new neighbor (``f_hello = lambda_gen``), and link
@@ -11,8 +12,18 @@ Two operating modes, matching the paper's HELLO analysis (Section 3.5.1):
   has not heard for ``timeout``.  Used by the detection-latency
   ablation (DESIGN.md item 4) to quantify the gap between the lower
   bound and a deployable beacon.
+* ``adaptive`` — the closed-loop mode: a
+  :class:`~repro.control.policies.BeaconPolicy` picks each node's next
+  interval from measured link dynamics
+  (:class:`~repro.control.signals.ControlSignals`, fed by an engine
+  signal tap), timers run heterogeneously per node, and each node
+  advertises an expiry of ``timeout_multiple x`` its *own* current
+  interval.  Under the non-adaptive ``fixed`` policy this path
+  reproduces ``periodic`` bit for bit — same RNG draws, same float
+  arithmetic, same attribution cause — which is exactly what the
+  compare-gated regression test pins.
 
-In both modes the protocol maintains per-node neighbor lists, which
+In every mode the protocol maintains per-node neighbor lists, which
 downstream protocols may consume instead of the oracle adjacency.
 """
 
@@ -20,6 +31,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..control.policies import POLICIES, BeaconPolicy, build_policy
+from ..control.signals import ControlSignals
+from ..obs import context as obs_context
 from ..obs.attribution import (
     CAUSE_EVENT_HELLO,
     CAUSE_PERIODIC_HELLO,
@@ -27,7 +41,12 @@ from ..obs.attribution import (
 )
 from .engine import Protocol, Simulation
 
-__all__ = ["HelloProtocol"]
+__all__ = ["HelloProtocol", "hello_from_config"]
+
+#: Histogram bucket bounds for adaptive-beacon telemetry.
+INTERVAL_BUCKETS = (0.1, 0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+STALENESS_BUCKETS = (0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+LATENCY_BUCKETS = (0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0)
 
 
 class HelloProtocol(Protocol):
@@ -36,12 +55,25 @@ class HelloProtocol(Protocol):
     Parameters
     ----------
     mode:
-        ``"event"`` (paper lower bound) or ``"periodic"``.
+        ``"event"`` (paper lower bound), ``"periodic"`` or
+        ``"adaptive"``.
     interval:
-        Beacon period for periodic mode.
+        Beacon period for periodic mode.  Ignored in adaptive mode,
+        where the policy's ``initial_interval()`` seeds the timers.
     timeout:
         Neighbor expiry for periodic mode; defaults to ``2.5 *
-        interval`` (a common soft-timer multiple).
+        interval`` (a common soft-timer multiple) and must exceed the
+        interval — a timeout at or below the beacon period would expire
+        every neighbor between consecutive beacons.  In adaptive mode
+        the ratio ``timeout / interval`` becomes the per-node expiry
+        multiple applied to each node's current interval.
+    policy:
+        Adaptive mode only: a
+        :class:`~repro.control.policies.BeaconPolicy` instance or spec
+        dict for :func:`~repro.control.policies.build_policy`.
+    signal_window, signal_alpha:
+        Adaptive mode only: window length and EWMA weight of the
+        :class:`~repro.control.signals.ControlSignals` tap.
     """
 
     name = "hello"
@@ -51,18 +83,53 @@ class HelloProtocol(Protocol):
         mode: str = "event",
         interval: float = 1.0,
         timeout: float | None = None,
+        policy: BeaconPolicy | dict | None = None,
+        signal_window: float = 1.0,
+        signal_alpha: float = 0.5,
     ) -> None:
-        if mode not in ("event", "periodic"):
-            raise ValueError(f"mode must be 'event' or 'periodic', got {mode!r}")
+        if mode not in ("event", "periodic", "adaptive"):
+            raise ValueError(
+                f"mode must be 'event', 'periodic' or 'adaptive', got {mode!r}"
+            )
+        if policy is not None and mode != "adaptive":
+            raise ValueError(
+                f"a beacon policy requires mode 'adaptive', got mode {mode!r}"
+            )
+        self.mode = mode
+        self.policy: BeaconPolicy | None = None
+        self._beacon_cause = CAUSE_PERIODIC_HELLO
+        if mode == "adaptive":
+            if policy is None:
+                raise ValueError("mode 'adaptive' requires a beacon policy")
+            self.policy = build_policy(policy)
+            self._beacon_cause = self.policy.cause
+            interval = self.policy.initial_interval()
         if interval <= 0.0:
             raise ValueError(f"interval must be positive, got {interval}")
-        self.mode = mode
         self.interval = interval
         self.timeout = 2.5 * interval if timeout is None else timeout
-        if self.timeout <= 0.0:
-            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.timeout <= self.interval:
+            raise ValueError(
+                f"timeout ({self.timeout}) must be greater than the beacon "
+                f"interval ({self.interval}); a smaller timeout would expire "
+                "every neighbor between consecutive beacons"
+            )
+        self._timeout_multiple = self.timeout / self.interval
+        self.signal_window = signal_window
+        self.signal_alpha = signal_alpha
         self.neighbor_lists: list[dict[int, float]] = []
         self._next_beacon: np.ndarray | None = None
+        # Adaptive-mode state (see on_attach).
+        self.signals: ControlSignals | None = None
+        self._advertised_timeout: np.ndarray | None = None
+        self._interval_hist = None
+        self._staleness_hist = None
+        self._latency_hist = None
+        self._windows_emitted = 0
+        self._window_beacons = 0
+        self._window_interval_sum = 0.0
+        self._window_interval_min = float("inf")
+        self._window_interval_max = 0.0
 
     # ------------------------------------------------------------------
     def on_attach(self, sim: Simulation) -> None:
@@ -72,12 +139,40 @@ class HelloProtocol(Protocol):
         self.neighbor_lists = [
             {int(v): 0.0 for v in sim.neighbors_of(u)} for u in range(n)
         ]
-        if self.mode == "periodic":
+        if self.mode in ("periodic", "adaptive"):
             phases = sim.rng.uniform(0.0, self.interval, size=n)
             self._next_beacon = phases
+        if self.mode == "adaptive":
+            self._advertised_timeout = np.full(n, self.timeout, dtype=float)
+            if self.policy.adaptive:
+                # The signal tap, histograms and control_window events
+                # exist only for genuinely adaptive policies: the fixed
+                # policy takes the byte-identical periodic arithmetic
+                # path and must add no telemetry the periodic mode
+                # would not.
+                self.signals = ControlSignals(
+                    sim, window=self.signal_window, alpha=self.signal_alpha
+                )
+                registry = obs_context.current().registry
+                if registry is not None:
+                    labels = {
+                        "sim": str(sim.sim_id),
+                        "policy": self.policy.policy_name,
+                    }
+                    self._interval_hist = registry.histogram(
+                        "beacon_interval", buckets=INTERVAL_BUCKETS, **labels
+                    )
+                    self._staleness_hist = registry.histogram(
+                        "neighbor_staleness",
+                        buckets=STALENESS_BUCKETS,
+                        **labels,
+                    )
+                    self._latency_hist = registry.histogram(
+                        "detection_latency", buckets=LATENCY_BUCKETS, **labels
+                    )
 
     def _send_hello(self, sim: Simulation, node: int, time: float) -> None:
-        with attributed(sim, CAUSE_PERIODIC_HELLO, node=node):
+        with attributed(sim, self._beacon_cause, node=node):
             sim.stats.record("hello", 1, sim.params.messages.p_hello)
         # Every current neighbor of `node` hears the beacon.
         for neighbor in sim.neighbors_of(node):
@@ -105,30 +200,130 @@ class HelloProtocol(Protocol):
         self.neighbor_lists[v].pop(u, None)
 
     # ------------------------------------------------------------------
-    # Periodic mode
+    # Periodic and adaptive modes
     # ------------------------------------------------------------------
     def on_step_end(self, sim: Simulation, time: float) -> None:
-        if self.mode != "periodic":
-            return
+        if self.mode == "periodic":
+            due = np.flatnonzero(self._next_beacon <= time)
+            for node in due:
+                self._send_hello(sim, int(node), time)
+                self._next_beacon[node] += self.interval
+            # Soft-timer expiry.
+            for node in range(sim.n_nodes):
+                neighbor_list = self.neighbor_lists[node]
+                expired = [
+                    other
+                    for other, heard in neighbor_list.items()
+                    if time - heard > self.timeout
+                ]
+                for other in expired:
+                    del neighbor_list[other]
+        elif self.mode == "adaptive":
+            self._adaptive_step_end(sim, time)
+
+    def _adaptive_step_end(self, sim: Simulation, time: float) -> None:
+        policy = self.policy
+        signals = self.signals
+        adaptive = policy.adaptive
         due = np.flatnonzero(self._next_beacon <= time)
         for node in due:
-            self._send_hello(sim, int(node), time)
-            self._next_beacon[node] += self.interval
-        # Soft-timer expiry.
+            node = int(node)
+            self._send_hello(sim, node, time)
+            interval = float(policy.next_interval(node, signals))
+            self._next_beacon[node] += interval
+            if adaptive:
+                self._advertised_timeout[node] = (
+                    self._timeout_multiple * interval
+                )
+                self._window_beacons += 1
+                self._window_interval_sum += interval
+                if interval < self._window_interval_min:
+                    self._window_interval_min = interval
+                if interval > self._window_interval_max:
+                    self._window_interval_max = interval
+                if self._interval_hist is not None:
+                    self._interval_hist.observe(interval)
+        # Soft-timer expiry against each neighbor's *advertised*
+        # timeout.  Under the fixed policy the array never changes from
+        # its `timeout` fill, so the comparison is value-identical to
+        # the periodic path's.
+        advertised = self._advertised_timeout
         for node in range(sim.n_nodes):
             neighbor_list = self.neighbor_lists[node]
             expired = [
                 other
                 for other, heard in neighbor_list.items()
-                if time - heard > self.timeout
+                if time - heard > advertised[other]
             ]
             for other in expired:
                 del neighbor_list[other]
+        if (
+            adaptive
+            and signals.windows_closed > self._windows_emitted
+            and (
+                sim.tracer.enabled or self._staleness_hist is not None
+            )
+        ):
+            self._close_control_window(sim, time)
+
+    def _close_control_window(self, sim: Simulation, time: float) -> None:
+        """Emit per-window control telemetry (adaptive policies only)."""
+        signals = self.signals
+        self._windows_emitted = signals.windows_closed
+        window = signals.last_window
+        errors = self.detection_error_counts(sim)
+        staleness = float(errors.mean())
+        if self._staleness_hist is not None:
+            for value in errors:
+                self._staleness_hist.observe(float(value))
+            for value in self._advertised_timeout:
+                self._latency_hist.observe(float(value))
+        beacons = self._window_beacons
+        if sim.tracer.enabled:
+            sim.tracer.emit(
+                "control_window",
+                time,
+                sim=sim.sim_id,
+                policy=self.policy.policy_name,
+                window_start=window["start"],
+                elapsed=window["elapsed"],
+                beacons=beacons,
+                mean_interval=(
+                    self._window_interval_sum / beacons if beacons else 0.0
+                ),
+                min_interval=(
+                    self._window_interval_min if beacons else 0.0
+                ),
+                max_interval=(
+                    self._window_interval_max if beacons else 0.0
+                ),
+                mean_rate=window["mean_rate"],
+                max_rate=window["max_rate"],
+                staleness=staleness,
+                mean_timeout=float(self._advertised_timeout.mean()),
+            )
+        self._window_beacons = 0
+        self._window_interval_sum = 0.0
+        self._window_interval_min = float("inf")
+        self._window_interval_max = 0.0
 
     # ------------------------------------------------------------------
     def known_neighbors(self, node: int) -> set[int]:
         """The neighbor set node ``node`` currently believes in."""
         return set(self.neighbor_lists[node])
+
+    def detection_error_counts(self, sim: Simulation) -> np.ndarray:
+        """Per-node count of neighbor-table discrepancies vs the truth.
+
+        Entry ``i`` is ``|actual_i XOR believed_i|`` — stale neighbors
+        still listed plus new neighbors not yet discovered.
+        """
+        counts = np.zeros(sim.n_nodes, dtype=np.int64)
+        for node in range(sim.n_nodes):
+            actual = {int(v) for v in sim.neighbors_of(node)}
+            believed = self.known_neighbors(node)
+            counts[node] = len(actual ^ believed)
+        return counts
 
     def detection_errors(self, sim: Simulation) -> int:
         """Number of (node, neighbor) discrepancies vs the true adjacency.
@@ -136,9 +331,71 @@ class HelloProtocol(Protocol):
         Zero in event mode; grows with ``interval`` in periodic mode —
         the quantity the detection-latency ablation reports.
         """
-        errors = 0
-        for node in range(sim.n_nodes):
-            actual = {int(v) for v in sim.neighbors_of(node)}
-            believed = self.known_neighbors(node)
-            errors += len(actual ^ believed)
-        return errors
+        return int(self.detection_error_counts(sim).sum())
+
+
+#: Valid keys of a scenario/CLI ``beacon`` block.
+BEACON_CONFIG_KEYS = ("mode", "interval", "timeout", "policy", "window", "alpha")
+
+
+def hello_from_config(spec: dict) -> HelloProtocol:
+    """Build a :class:`HelloProtocol` from a scenario ``beacon`` block.
+
+    The block supports::
+
+        {"mode": "event"}
+        {"mode": "periodic", "interval": 1.0, "timeout": 2.5}
+        {"mode": "adaptive", "policy": {"policy": "churn-feedback", ...},
+         "timeout": 2.5, "window": 1.0, "alpha": 0.5}
+
+    ``policy`` may also be a bare policy name string (default
+    parameters).  Unknown keys — at this level and inside the policy
+    spec — are rejected with the list of valid keys.
+    """
+    if not isinstance(spec, dict):
+        raise ValueError(
+            f"beacon config must be a dict, got {type(spec).__name__}"
+        )
+    data = dict(spec)
+    unknown = set(data) - set(BEACON_CONFIG_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown beacon keys: {sorted(unknown)}; "
+            f"valid keys are: {sorted(BEACON_CONFIG_KEYS)}"
+        )
+    mode = data.get("mode", "event")
+    policy_spec = data.get("policy")
+    if isinstance(policy_spec, str):
+        policy_spec = {"policy": policy_spec}
+    if mode == "adaptive":
+        if policy_spec is None:
+            raise ValueError(
+                "beacon mode 'adaptive' requires a 'policy' "
+                f"(one of {sorted(POLICIES)})"
+            )
+        if "interval" in data:
+            raise ValueError(
+                "beacon mode 'adaptive' takes its interval from the "
+                "policy; set it inside the 'policy' block"
+            )
+        return HelloProtocol(
+            "adaptive",
+            timeout=data.get("timeout"),
+            policy=build_policy(policy_spec),
+            signal_window=data.get("window", 1.0),
+            signal_alpha=data.get("alpha", 0.5),
+        )
+    if policy_spec is not None:
+        raise ValueError(
+            f"beacon 'policy' requires mode 'adaptive', got mode {mode!r}"
+        )
+    for key in ("window", "alpha"):
+        if key in data:
+            raise ValueError(
+                f"beacon {key!r} applies only to mode 'adaptive'"
+            )
+    return HelloProtocol(
+        mode,
+        interval=data.get("interval", 1.0),
+        timeout=data.get("timeout"),
+    )

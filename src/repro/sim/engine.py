@@ -214,6 +214,9 @@ class Simulation:
 
         self.time = 0.0
         self._protocols: list[Protocol] = []
+        #: Signal taps (see :meth:`add_signal_tap`): pure observers of
+        #: each step's link events, fed before protocol hooks run.
+        self._signal_taps: list = []
 
         self.mobility.reset(params.n_nodes, self.region, seed)
         if connectivity == "auto":
@@ -442,6 +445,19 @@ class Simulation:
         """Attached protocols in delivery order."""
         return tuple(self._protocols)
 
+    def add_signal_tap(self, tap) -> None:
+        """Register ``tap(sim, events)`` to observe each step's link events.
+
+        Taps run after the step's edge set and events are final but
+        *before* any protocol hook, so ``on_step_end`` decisions (e.g.
+        an adaptive beacon policy) see signals that already include the
+        current step.  Taps must be pure observers — no RNG draws, no
+        message recording, no trace emission — so that registering one
+        cannot change a run's results (their wall-clock cost is charged
+        to the ``control_signals`` timing phase).
+        """
+        self._signal_taps.append(tap)
+
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
@@ -529,6 +545,12 @@ class Simulation:
         self._adjacency_cache = None
         self.time += self.dt
         self.stats.advance_time(self.dt)
+
+        if self._signal_taps:
+            s0 = perf_counter()
+            for tap in self._signal_taps:
+                tap(self, events)
+            timer.add("control_signals", perf_counter() - s0)
 
         tracer = self.tracer
         if tracer.enabled:

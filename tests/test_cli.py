@@ -356,11 +356,15 @@ class TestMetricsCommand:
 class TestVersion:
     def test_version_flag(self, capsys):
         import repro
+        from repro.sim.engine import ENGINE_SCHEMA_VERSION
 
         with pytest.raises(SystemExit) as exit_info:
             main(["--version"])
         assert exit_info.value.code == 0
-        assert capsys.readouterr().out.strip() == f"repro-manet {repro.__version__}"
+        assert capsys.readouterr().out.strip() == (
+            f"repro-manet {repro.__version__} "
+            f"(engine schema {ENGINE_SCHEMA_VERSION})"
+        )
 
 
 class TestStoreFlags:

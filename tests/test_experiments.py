@@ -40,6 +40,7 @@ class TestRegistry:
             "backbone",
             "stability",
             "dhop",
+            "adaptive-beaconing",
             "ablation-conventions",
             "ablation-route-payload",
             "ablation-boundary",
