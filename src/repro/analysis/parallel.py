@@ -53,7 +53,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, sleep
 from typing import Any, Callable, Iterable, Sequence
 
 from ..obs import context as obs_context
@@ -200,6 +200,76 @@ def _discard_pool() -> None:
 
 
 atexit.register(_discard_pool)
+
+
+# A worker killed mid-run (OOM, SIGKILL, a chaos test) poisons the whole
+# executor: every unfinished future raises BrokenProcessPool.  Because
+# tasks are pure functions of their tuples, resubmitting the failed
+# chunks on a fresh pool is always safe — results cannot differ, and any
+# store records the dead round already wrote are simply rewritten to the
+# same keys.  One retry round with a bounded backoff turns a transient
+# worker death into a warning instead of a lost sweep; a second failure
+# propagates, since it points at something systematic (e.g. the task
+# itself crashing the interpreter).  Module-level knobs so tests can
+# shrink the delay.
+_POOL_ATTEMPTS = 2
+_POOL_RETRY_BACKOFF = 0.5
+_POOL_RETRY_BACKOFF_CAP = 4.0
+
+
+def _run_chunks(payloads: Sequence[Any], jobs: int) -> tuple[list[Any], int]:
+    """Run chunk payloads on the shared pool, retrying broken-pool losses.
+
+    Returns ``(outcomes, retried)`` where ``outcomes`` is in payload
+    order (so downstream merging stays order-deterministic for any
+    ``jobs``) and ``retried`` counts chunks that needed resubmission.
+    """
+    outcomes: list[Any] = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    retried = 0
+    for attempt in range(_POOL_ATTEMPTS):
+        pool = _shared_pool(jobs)
+        futures: list[tuple[int, Any]] = []
+        failed: list[int] = []
+        error: BrokenProcessPool | None = None
+        for position, index in enumerate(pending):
+            try:
+                futures.append((index, pool.submit(_run_captured, payloads[index])))
+            except BrokenProcessPool as exc:
+                # A worker died while we were still submitting: the
+                # executor rejects everything from here on, so the rest
+                # of the round goes straight to the retry list.
+                failed.extend(pending[position:])
+                error = exc
+                break
+        for index, future in futures:
+            try:
+                outcomes[index] = future.result()
+            except BrokenProcessPool as exc:
+                failed.append(index)
+                error = exc
+        failed.sort()
+        if not failed:
+            return outcomes, retried
+        # The broken executor is unusable from here on; discard it so
+        # the retry (and any later run_tasks call) starts healthy.
+        _discard_pool()
+        if attempt + 1 >= _POOL_ATTEMPTS:
+            assert error is not None
+            raise error
+        retried += len(failed)
+        delay = min(
+            _POOL_RETRY_BACKOFF * 2.0**attempt, _POOL_RETRY_BACKOFF_CAP
+        )
+        logger.warning(
+            "worker pool broke under %d chunk(s); resubmitting on a "
+            "fresh pool in %.1fs",
+            len(failed),
+            delay,
+        )
+        sleep(delay)
+        pending = failed
+    return outcomes, retried
 
 
 def _fresh_sim_id() -> int:
@@ -395,14 +465,11 @@ def run_tasks(
         )
         for chunk in chunks
     ]
-    pool = _shared_pool(jobs)
-    try:
-        chunk_outcomes = list(pool.map(_run_captured, payloads))
-    except BrokenProcessPool:
-        # A dead worker poisons the whole pool; discard it so the next
-        # call starts from a healthy one.
-        _discard_pool()
-        raise
+    chunk_outcomes, retried = _run_chunks(payloads, jobs)
+    if context.registry is not None:
+        # 0 on clean runs; chaos tests and flaky hosts read this to see
+        # that the broken-pool recovery path actually engaged.
+        context.registry.gauge("worker_retries").set(retried)
     # Chunks preserve pending order, so merging chunk by chunk keeps
     # telemetry in task order exactly as unchunked submission did.
     for chunk, outcomes in zip(chunks, chunk_outcomes):

@@ -124,6 +124,7 @@ def _run_once(
     epoch: float,
     algorithm: ClusteringAlgorithm,
     beacon: dict | None = None,
+    faults: dict | None = None,
 ) -> tuple[dict[str, float], float]:
     """One simulation run; returns (frequencies, measured head ratio)."""
     sim = Simulation(
@@ -131,10 +132,34 @@ def _run_once(
         EpochRandomWaypointModel(params.velocity, epoch=epoch),
         seed=seed,
     )
+    miss_limit = None
+    if faults is not None:
+        from ..faults import attach_faults, build_plan, fault_config_from_dict
+
+        fault_config = fault_config_from_dict(faults)
+        # Compiled inside the worker, from plain-data task elements, so
+        # the task tuple (and its store fingerprint) stays declarative.
+        attach_faults(
+            sim,
+            build_plan(
+                fault_config,
+                params.n_nodes,
+                horizon=warmup + duration,
+                seed=seed,
+            ),
+        )
+        miss_limit = fault_config.hello_miss_limit
     if beacon is not None:
         from ..sim.beacon import hello_from_config
 
-        sim.attach(hello_from_config(beacon))
+        beacon_spec = dict(beacon)
+        if (
+            miss_limit is not None
+            and beacon_spec.get("mode", "event") != "event"
+            and "miss_limit" not in beacon_spec
+        ):
+            beacon_spec["miss_limit"] = miss_limit
+        sim.attach(hello_from_config(beacon_spec))
     else:
         sim.attach(HelloProtocol(mode="event"))
     maintenance = ClusterMaintenanceProtocol(algorithm)
@@ -184,12 +209,16 @@ def _run_once_task(task) -> tuple[dict[str, float], float]:
     """Picklable per-seed worker for :func:`measure_point`.
 
     Tasks are 6-tuples historically; a beacon/control spec rides as an
-    optional 7th element so classic tasks keep their pre-existing store
-    fingerprints while beacon-configured runs get distinct ones.
+    optional 7th element and a faults block as an optional 8th, so
+    classic tasks keep their pre-existing store fingerprints while
+    beacon- or fault-configured runs get distinct ones.
     """
     params, seed, duration, warmup, epoch, algorithm = task[:6]
     beacon = task[6] if len(task) > 6 else None
-    return _run_once(params, seed, duration, warmup, epoch, algorithm, beacon)
+    faults = task[7] if len(task) > 7 else None
+    return _run_once(
+        params, seed, duration, warmup, epoch, algorithm, beacon, faults
+    )
 
 
 def measure_point(
@@ -204,6 +233,7 @@ def measure_point(
     jobs: int | None = None,
     store=None,
     beacon: dict | None = None,
+    faults: dict | None = None,
 ) -> SweepPoint:
     """Measure one parameter point (averaged over ``seeds`` runs).
 
@@ -217,6 +247,11 @@ def measure_point(
     :func:`repro.sim.beacon.hello_from_config`) replacing the default
     event-mode HELLO; it becomes part of each task's store identity, so
     cached event-mode results are never served for a policy run.
+    ``faults`` is an optional fault-injection block (see
+    :func:`repro.faults.fault_config_from_dict`); the per-seed plan is
+    compiled inside each worker from ``(faults, n_nodes, horizon,
+    seed)``, and the declarative block joins the task's store identity
+    the same way ``beacon`` does.
     """
     if seeds < 1:
         raise ValueError(f"seeds must be positive, got {seeds}")
@@ -226,6 +261,10 @@ def measure_point(
         from ..sim.beacon import hello_from_config
 
         hello_from_config(beacon)
+    if faults is not None:
+        from ..faults import fault_config_from_dict
+
+        fault_config_from_dict(faults)
     logger.debug(
         "measuring point value=%g over %d seeds (N=%d, jobs=%s)",
         parameter_value,
@@ -233,14 +272,21 @@ def measure_point(
         params.n_nodes,
         jobs,
     )
+
+    def _task(seed: int) -> tuple:
+        # Back-compatible task identity: classic 6-tuples, beacon as the
+        # 7th element, faults as the 8th (with an explicit None beacon
+        # placeholder so element positions stay fixed).
+        task = (params, seed, duration, warmup, epoch, algorithm)
+        if faults is not None:
+            return task + (beacon, faults)
+        if beacon is not None:
+            return task + (beacon,)
+        return task
+
     runs = run_tasks(
         _run_once_task,
-        [
-            (params, seed, duration, warmup, epoch, algorithm)
-            if beacon is None
-            else (params, seed, duration, warmup, epoch, algorithm, beacon)
-            for seed in range(seeds)
-        ],
+        [_task(seed) for seed in range(seeds)],
         jobs=jobs,
         store=store,
     )

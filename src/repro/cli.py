@@ -435,6 +435,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="base beacon interval for --beacon-policy (default 1.0)",
     )
+    sweep.add_argument(
+        "--fault-crash-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help=(
+            "inject node crashes at RATE per node per unit time "
+            "(deterministic per-seed schedule; part of each task's "
+            "store identity)"
+        ),
+    )
+    sweep.add_argument(
+        "--fault-crash-recover",
+        type=float,
+        default=None,
+        metavar="DELAY",
+        help=(
+            "recover crashed nodes after DELAY time units "
+            "(default: crashes are permanent)"
+        ),
+    )
+    sweep.add_argument(
+        "--fault-loss-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="drop each HELLO/RREQ reception with probability P",
+    )
     _add_jobs_flag(sweep)
     _add_store_flags(sweep)
     _add_openmetrics_flag(sweep)
@@ -660,6 +688,28 @@ def _run_sweep(args) -> int:
         except ValueError as error:
             print(f"bad --beacon-policy: {error}")
             return 2
+    faults = None
+    if (
+        args.fault_crash_rate is not None
+        or args.fault_loss_rate is not None
+    ):
+        faults = {}
+        if args.fault_crash_rate is not None:
+            faults["crash_rate"] = args.fault_crash_rate
+        if args.fault_crash_recover is not None:
+            faults["crash_recover_after"] = args.fault_crash_recover
+        if args.fault_loss_rate is not None:
+            faults["loss_rate"] = args.fault_loss_rate
+        from .faults import fault_config_from_dict
+
+        try:
+            fault_config_from_dict(faults)
+        except ValueError as error:
+            print(f"bad --fault-* flags: {error}")
+            return 2
+    elif args.fault_crash_recover is not None:
+        print("--fault-crash-recover requires --fault-crash-rate")
+        return 2
     base = NetworkParameters.from_fractions(
         n_nodes=args.n, range_fraction=args.rf, velocity_fraction=args.vf
     )
@@ -682,6 +732,9 @@ def _run_sweep(args) -> int:
             # enter the sweep manifest identity and orphan every
             # pre-existing event-mode manifest.
             sweep_kwargs["beacon"] = beacon
+        if faults is not None:
+            # Same manifest-compatibility contract as ``beacon``.
+            sweep_kwargs["faults"] = faults
         result = run_sweep(args.parameter, base, values, **sweep_kwargs)
     if registry is not None:
         from .obs.openmetrics import write_openmetrics
@@ -1191,6 +1244,13 @@ def main(argv: list[str] | None = None) -> int:
     except _CliError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # Telemetry sinks flush on the way out: _run_simulate/_run_run
+        # finish their tracer in ``finally`` blocks as the interrupt
+        # unwinds, and JsonlTracer keeps an atexit flush as a backstop —
+        # a Ctrl-C'd run leaves a parseable trace.
+        print("interrupted", file=sys.stderr)
+        return 130
     return 2  # pragma: no cover - argparse enforces the choices
 
 

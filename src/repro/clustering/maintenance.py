@@ -41,6 +41,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..obs.attribution import (
+    CAUSE_CRASH_RECOVERY,
     CAUSE_HEAD_ADJACENCY_REPAIR,
     CAUSE_HEAD_MERGE_CASCADE,
     CAUSE_REAFFILIATION,
@@ -177,8 +178,21 @@ class ClusterMaintenanceProtocol(Protocol):
         self._notify(sim, node, time)
         return span
 
-    def _resign_head(self, sim: Simulation, loser: int, winner: int, time: float) -> None:
-        """Demote ``loser`` (joining ``winner``) and re-home its members."""
+    def _resign_head(
+        self,
+        sim: Simulation,
+        loser: int,
+        winner: int,
+        time: float,
+        cause: str = CAUSE_HEAD_ADJACENCY_REPAIR,
+    ) -> None:
+        """Demote ``loser`` (joining ``winner``) and re-home its members.
+
+        ``cause`` labels the loser's own CLUSTER message (the P1
+        default, or ``crash-recovery`` when the triggering link event
+        was a fault transition); the cascade reaffiliations keep their
+        dedicated ``head-merge-cascade`` cause either way.
+        """
         members = self.state.members_of(loser)
         spans = sim.spans
         merge_span = None
@@ -194,9 +208,7 @@ class ClusterMaintenanceProtocol(Protocol):
         self.state.make_member(loser, winner)
         self.head_changes_total += 1
         self.reaffiliations_total += 1
-        with attributed(
-            sim, CAUSE_HEAD_ADJACENCY_REPAIR, node=loser, cluster=int(winner)
-        ):
+        with attributed(sim, cause, node=loser, cluster=int(winner)):
             self._send_cluster_message(sim)
         if sim.tracer.enabled:
             sim.tracer.emit(
@@ -243,13 +255,18 @@ class ClusterMaintenanceProtocol(Protocol):
             orphan = v
         else:
             return
+        cause = CAUSE_REAFFILIATION
+        if sim.faults is not None and sim.faults.is_fault_transition(u, v):
+            # The break came from a crash/outage transition, not
+            # mobility: the orphan's repair is crash-recovery overhead.
+            cause = CAUSE_CRASH_RECOVERY
         spans = sim.spans
         span_open = spans.enabled
         if span_open:
             spans.start(
                 "repair:member-break", "handler", time, u=int(u), v=int(v)
             )
-        self._reaffiliate(sim, orphan, time)
+        self._reaffiliate(sim, orphan, time, cause=cause)
         if span_open:
             spans.end(time)
 
@@ -264,13 +281,46 @@ class ClusterMaintenanceProtocol(Protocol):
                 self.algorithm.head_priority(sim.adjacency), dtype=float
             )
         if state.roles[u] == Role.HEAD and state.roles[v] == Role.HEAD:
+            cause = CAUSE_HEAD_ADJACENCY_REPAIR
+            if sim.faults is not None and sim.faults.is_fault_transition(u, v):
+                # Two heads meeting because one just recovered (or an
+                # outage lifted) is crash-recovery overhead, not a
+                # mobility-driven adjacency repair.
+                cause = CAUSE_CRASH_RECOVERY
             # P1 violation: lower priority head resigns.
             if self._priority[u] >= self._priority[v]:
-                self._resign_head(sim, v, u, time)
+                self._resign_head(sim, v, u, time, cause=cause)
             else:
-                self._resign_head(sim, u, v, time)
+                self._resign_head(sim, u, v, time, cause=cause)
         # Any other combination keeps P1/P2 intact (LCC: a member does
         # not switch to a newly reachable head).
+
+    # ------------------------------------------------------------------
+    # Crash handling (fault plans)
+    # ------------------------------------------------------------------
+    def on_node_fail(self, sim: Simulation, node: int, time: float) -> None:
+        """State wipe: a crashing member silently leaves its cluster.
+
+        A dead radio cannot transmit, so no CLUSTER message is recorded
+        — the node is simply marked a standalone head, which keeps
+        P1/P2 vacuously true once its links drop this same step.  A
+        crashing *head* keeps its role; its orphaned members repair
+        themselves through the ordinary ``on_link_down`` path as the
+        engine delivers the mask-induced link breaks.
+        """
+        if self.state.roles[node] == Role.MEMBER:
+            self.state.make_head(node)
+            self.head_changes_total += 1
+            if sim.tracer.enabled:
+                sim.tracer.emit(
+                    "head_change",
+                    time,
+                    sim=sim.sim_id,
+                    node=int(node),
+                    kind="elect",
+                    span=sim.spans.current,
+                )
+            self._notify(sim, node, time)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,7 @@ from .ablations import (
 )
 from .adaptive_beaconing import run_adaptive_beaconing
 from .backbone import run_backbone
+from .chaos_overhead import run_chaos_overhead
 from .claims import run_claim1, run_claim2
 from .clustering_comparison import run_clustering_comparison
 from .dhop import run_dhop
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, Callable[[bool], Table]] = {
     "ablation-boundary": run_ablation_boundary,
     "ablation-beacon": run_ablation_beacon,
     "adaptive-beaconing": run_adaptive_beaconing,
+    "chaos-overhead": run_chaos_overhead,
 }
 
 

@@ -1,0 +1,36 @@
+"""Deterministic fault injection for simulation runs.
+
+The package adds the failure axis the paper's lossless/immortal
+simulations lack: node crashes (with protocol-state wipe and optional
+recovery), per-link Bernoulli packet loss, and moving spatial outage
+regions that silence every radio inside them.  Faults are declared as a
+:class:`~repro.faults.plan.FaultConfig` (the JSON-able ``faults`` block
+of a scenario or sweep), compiled once into a concrete
+:class:`~repro.faults.plan.FaultPlan` by
+:func:`~repro.faults.plan.build_plan` — all randomness drawn up front
+from a seed-derived stream, so runs stay deterministic and
+store-fingerprintable — and applied by a
+:class:`~repro.faults.runtime.FaultInjector` through the engine's fault
+phase (see :meth:`repro.sim.engine.Simulation.step`).
+"""
+
+from .plan import (
+    FAULT_CONFIG_KEYS,
+    FaultConfig,
+    FaultPlan,
+    OutageSpec,
+    build_plan,
+    fault_config_from_dict,
+)
+from .runtime import FaultInjector, attach_faults
+
+__all__ = [
+    "FAULT_CONFIG_KEYS",
+    "FaultConfig",
+    "FaultPlan",
+    "OutageSpec",
+    "FaultInjector",
+    "attach_faults",
+    "build_plan",
+    "fault_config_from_dict",
+]

@@ -1,0 +1,321 @@
+"""Declarative fault configuration and the compiled fault schedule.
+
+Two layers, mirroring the scenario/params split used everywhere else:
+
+* :class:`FaultConfig` — the *declarative* description (the ``faults``
+  block of a scenario JSON or a sweep's ``faults=`` kwarg): crash rate
+  and recovery delay, per-link loss probability, outage-region specs,
+  and the graceful-degradation knobs the protocols consume.  Plain
+  frozen dataclass, so it canonicalizes into store fingerprints.
+* :class:`FaultPlan` — the *compiled* schedule: a sorted tuple of
+  ``(time, kind, node)`` crash/recover events plus the loss stream's
+  seed material.  :func:`build_plan` draws the whole schedule up front
+  from a stream derived as ``SeedSequence([seed, _FAULT_STREAM_SALT])``
+  — independent of the simulation's own RNG, so attaching a fault plan
+  never perturbs mobility or beacon phases, and the same
+  ``(config, params, horizon, seed)`` always compiles to the same plan.
+
+Per-packet Bernoulli loss cannot be pre-scheduled (it depends on which
+packets the run sends), so the plan instead pins the *seed* of a
+dedicated loss stream; a run replays identical draws, which is what
+makes jobs=N sweeps and store replays with faults deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FAULT_CONFIG_KEYS",
+    "FaultConfig",
+    "FaultPlan",
+    "OutageSpec",
+    "build_plan",
+    "fault_config_from_dict",
+]
+
+#: Salt separating the fault streams from every other consumer of the
+#: scenario seed (mobility resets with the bare seed; protocols draw
+#: from the simulation RNG).
+_FAULT_STREAM_SALT = 0xFA17
+#: Child-stream indices under the salted sequence.
+_SCHEDULE_STREAM = 0
+_LOSS_STREAM = 1
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """A moving circular outage region silencing all nodes inside it.
+
+    Geometry is expressed in *fractions of the region side* so one spec
+    scales across sweep points: ``center`` and ``velocity`` are
+    side-relative, ``radius`` is a side fraction.  The region is active
+    on ``[start, start + duration)`` (``duration=None`` — to the end of
+    the run) and its center moves linearly, wrapping on the torus.
+    """
+
+    center: tuple[float, float] = (0.5, 0.5)
+    radius: float = 0.25
+    velocity: tuple[float, float] = (0.0, 0.0)
+    start: float = 0.0
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise ValueError(f"outage radius must be positive, got {self.radius}")
+        if self.start < 0.0:
+            raise ValueError(f"outage start must be non-negative, got {self.start}")
+        if self.duration is not None and self.duration <= 0.0:
+            raise ValueError(
+                f"outage duration must be positive, got {self.duration}"
+            )
+        object.__setattr__(self, "center", tuple(float(c) for c in self.center))
+        object.__setattr__(
+            self, "velocity", tuple(float(v) for v in self.velocity)
+        )
+        if len(self.center) != 2 or len(self.velocity) != 2:
+            raise ValueError("outage center/velocity must be (x, y) pairs")
+
+    def active_at(self, time: float) -> bool:
+        """Whether the region silences nodes at simulated ``time``."""
+        if time < self.start:
+            return False
+        return self.duration is None or time < self.start + self.duration
+
+    def center_at(self, time: float, side: float) -> np.ndarray:
+        """Absolute region center at ``time`` (torus-wrapped)."""
+        elapsed = max(0.0, time - self.start)
+        center = np.asarray(self.center) + np.asarray(self.velocity) * elapsed
+        return np.mod(center * side, side)
+
+
+#: Valid keys of a scenario/CLI ``faults`` block.
+FAULT_CONFIG_KEYS = (
+    "crash_rate",
+    "crash_recover_after",
+    "loss_rate",
+    "outages",
+    "hello_miss_limit",
+    "route_retries",
+    "route_retry_backoff",
+    "route_retry_cap",
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Declarative fault description (the scenario ``faults`` block).
+
+    Parameters
+    ----------
+    crash_rate:
+        Expected crashes *per node per unit time* (a Poisson process
+        over ``n_nodes * horizon``).  0 disables crashes.
+    crash_recover_after:
+        Delay until a crashed node's radio comes back (its protocol
+        state was wiped at crash time); ``None`` makes crashes
+        permanent.
+    loss_rate:
+        Per-link Bernoulli loss probability applied to HELLO receptions
+        and RREQ flood hops.  0 disables loss (and draws no randomness,
+        so a zero-loss plan is bit-identical to running without one).
+    outages:
+        Moving spatial outage regions (:class:`OutageSpec` or dicts).
+    hello_miss_limit:
+        Graceful-degradation knob: consecutive missed beacons a
+        periodic/adaptive HELLO tolerates before evicting a neighbor
+        (``None`` keeps the stock single-timeout eviction).
+    route_retries:
+        Graceful-degradation knob: failed AODV route discoveries are
+        retried up to this many times with capped exponential backoff
+        (0 keeps the stock fail-fast behavior).
+    route_retry_backoff / route_retry_cap:
+        Base delay and cap of that backoff (``min(base * 2**attempt,
+        cap)``).
+    """
+
+    crash_rate: float = 0.0
+    crash_recover_after: float | None = None
+    loss_rate: float = 0.0
+    outages: tuple[OutageSpec, ...] = ()
+    hello_miss_limit: int | None = None
+    route_retries: int = 0
+    route_retry_backoff: float = 0.5
+    route_retry_cap: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.crash_rate < 0.0:
+            raise ValueError(f"crash_rate must be >= 0, got {self.crash_rate}")
+        if self.crash_recover_after is not None and self.crash_recover_after <= 0.0:
+            raise ValueError(
+                "crash_recover_after must be positive (or null for "
+                f"permanent crashes), got {self.crash_recover_after}"
+            )
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(
+                f"loss_rate must be in [0, 1), got {self.loss_rate}"
+            )
+        outages = tuple(
+            o if isinstance(o, OutageSpec) else OutageSpec(**o)
+            for o in self.outages
+        )
+        object.__setattr__(self, "outages", outages)
+        if self.hello_miss_limit is not None and self.hello_miss_limit < 1:
+            raise ValueError(
+                f"hello_miss_limit must be >= 1, got {self.hello_miss_limit}"
+            )
+        if self.route_retries < 0:
+            raise ValueError(
+                f"route_retries must be >= 0, got {self.route_retries}"
+            )
+        if self.route_retry_backoff <= 0.0 or self.route_retry_cap <= 0.0:
+            raise ValueError("route retry backoff and cap must be positive")
+
+    @property
+    def inert(self) -> bool:
+        """True when the config injects nothing (no crash/loss/outage)."""
+        return (
+            self.crash_rate == 0.0
+            and self.loss_rate == 0.0
+            and not self.outages
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view; :func:`fault_config_from_dict` round-trips it."""
+        data = asdict(self)
+        data["outages"] = [
+            {
+                "center": list(o.center),
+                "radius": o.radius,
+                "velocity": list(o.velocity),
+                "start": o.start,
+                "duration": o.duration,
+            }
+            for o in self.outages
+        ]
+        return data
+
+
+def fault_config_from_dict(spec: dict | FaultConfig) -> FaultConfig:
+    """Build (and validate) a :class:`FaultConfig` from a ``faults`` block.
+
+    Unknown keys — here and inside each outage spec — are rejected with
+    the list of valid keys, matching the scenario loader's contract.
+    """
+    if isinstance(spec, FaultConfig):
+        return spec
+    if not isinstance(spec, dict):
+        raise ValueError(
+            f"faults config must be a dict, got {type(spec).__name__}"
+        )
+    data = dict(spec)
+    unknown = set(data) - set(FAULT_CONFIG_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown faults keys: {sorted(unknown)}; "
+            f"valid keys are: {sorted(FAULT_CONFIG_KEYS)}"
+        )
+    outages = []
+    outage_keys = ("center", "radius", "velocity", "start", "duration")
+    for outage in data.get("outages", ()):
+        if isinstance(outage, OutageSpec):
+            outages.append(outage)
+            continue
+        if not isinstance(outage, dict):
+            raise ValueError(
+                f"each outage must be a dict, got {type(outage).__name__}"
+            )
+        bad = set(outage) - set(outage_keys)
+        if bad:
+            raise ValueError(
+                f"unknown outage keys: {sorted(bad)}; "
+                f"valid keys are: {sorted(outage_keys)}"
+            )
+        fields = dict(outage)
+        for key in ("center", "velocity"):
+            if key in fields:
+                fields[key] = tuple(fields[key])
+        outages.append(OutageSpec(**fields))
+    data["outages"] = tuple(outages)
+    return FaultConfig(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The compiled, fully deterministic fault schedule of one run.
+
+    ``events`` is sorted by ``(time, kind, node)``; kinds are
+    ``"crash"`` and ``"recover"``.  ``loss_entropy`` seeds the run's
+    dedicated Bernoulli loss stream.  Plain data throughout, so a plan
+    (like the config it came from) is picklable and fingerprintable.
+    """
+
+    config: FaultConfig
+    horizon: float
+    events: tuple[tuple[float, str, int], ...] = ()
+    loss_entropy: tuple[int, ...] = field(
+        default=(0, _FAULT_STREAM_SALT, _LOSS_STREAM)
+    )
+
+    @property
+    def loss_rate(self) -> float:
+        """Per-link Bernoulli loss probability of the plan."""
+        return self.config.loss_rate
+
+    @property
+    def inert(self) -> bool:
+        """True when applying the plan can never change a run."""
+        return not self.events and self.config.loss_rate == 0.0 and (
+            not self.config.outages
+        )
+
+
+def build_plan(
+    config: dict | FaultConfig,
+    n_nodes: int,
+    horizon: float,
+    seed: int | None,
+) -> FaultPlan:
+    """Compile ``config`` into the concrete schedule for one run.
+
+    ``horizon`` is the total stepped time (warmup + measured duration);
+    crash times are drawn uniformly over it.  All randomness comes from
+    ``SeedSequence([seed, salt, stream])``, so the schedule is a pure
+    function of its arguments — building a plan consumes nothing from
+    the simulation's own RNG.
+    """
+    config = fault_config_from_dict(config)
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+    if horizon <= 0.0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    base = 0 if seed is None else int(seed)
+    events: list[tuple[float, str, int]] = []
+    if config.crash_rate > 0.0:
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                [base, _FAULT_STREAM_SALT, _SCHEDULE_STREAM]
+            )
+        )
+        count = int(rng.poisson(config.crash_rate * n_nodes * horizon))
+        times = np.sort(rng.uniform(0.0, horizon, size=count))
+        victims = rng.integers(0, n_nodes, size=count)
+        for time, victim in zip(times, victims):
+            events.append((float(time), "crash", int(victim)))
+            if config.crash_recover_after is not None:
+                events.append(
+                    (
+                        float(time) + config.crash_recover_after,
+                        "recover",
+                        int(victim),
+                    )
+                )
+    events.sort()
+    return FaultPlan(
+        config=config,
+        horizon=float(horizon),
+        events=tuple(events),
+        loss_entropy=(base, _FAULT_STREAM_SALT, _LOSS_STREAM),
+    )

@@ -54,6 +54,11 @@ cause                     meaning
 ``dsdv-periodic``         DSDV full-table periodic dump
 ``dsdv-triggered``        DSDV triggered incremental update
 ``broadcast-flood``       network-wide data broadcast flood
+``crash-recovery``        repair traffic caused by a fault transition
+                          (node crash/recover or outage boundary; see
+                          :mod:`repro.faults`) rather than mobility
+``loss-retransmit``       HELLO retransmissions compensating Bernoulli
+                          packet loss (event-mode announce retries)
 ``unattributed``          recorded outside any :func:`attributed` scope
                           (kept so per-cause sums stay exact)
 ========================  ==================================================
@@ -86,6 +91,8 @@ __all__ = [
     "CAUSE_DSDV_PERIODIC",
     "CAUSE_DSDV_TRIGGERED",
     "CAUSE_BROADCAST_FLOOD",
+    "CAUSE_CRASH_RECOVERY",
+    "CAUSE_LOSS_RETRANSMIT",
     "CAUSE_UNATTRIBUTED",
     "KNOWN_CAUSES",
     "OverheadLedger",
@@ -107,6 +114,8 @@ CAUSE_ROUTE_DISCOVERY = "route-discovery"
 CAUSE_DSDV_PERIODIC = "dsdv-periodic"
 CAUSE_DSDV_TRIGGERED = "dsdv-triggered"
 CAUSE_BROADCAST_FLOOD = "broadcast-flood"
+CAUSE_CRASH_RECOVERY = "crash-recovery"
+CAUSE_LOSS_RETRANSMIT = "loss-retransmit"
 CAUSE_UNATTRIBUTED = "unattributed"
 
 #: Every cause a stock protocol stack can produce.
@@ -125,6 +134,8 @@ KNOWN_CAUSES = (
     CAUSE_DSDV_PERIODIC,
     CAUSE_DSDV_TRIGGERED,
     CAUSE_BROADCAST_FLOOD,
+    CAUSE_CRASH_RECOVERY,
+    CAUSE_LOSS_RETRANSMIT,
     CAUSE_UNATTRIBUTED,
 )
 

@@ -98,6 +98,10 @@ class TraceDigest:
     phases: dict[str, float] = field(default_factory=dict)
     #: Span totals (started / ended / links).
     spans: dict[str, int] = field(default_factory=dict)
+    #: Fault-injection digest: ``inject:<kind>`` / ``clear:<kind>``
+    #: event counts plus the announced ``loss_rate``; empty for
+    #: unfaulted traces, so classic comparisons gain no rows.
+    faults: dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def from_trace(cls, path) -> "TraceDigest":
@@ -143,6 +147,16 @@ class TraceDigest:
                     digest.phases[phase] = (
                         digest.phases.get(phase, 0.0) + float(seconds)
                     )
+            elif event in ("fault_inject", "fault_clear"):
+                kind = str(record.get("kind", "?"))
+                if kind == "loss":
+                    digest.faults["loss_rate"] = float(
+                        record.get("rate", 0.0)
+                    )
+                else:
+                    verb = "inject" if event == "fault_inject" else "clear"
+                    key = f"{verb}:{kind}"
+                    digest.faults[key] = digest.faults.get(key, 0.0) + 1.0
         digest.dynamics = _dynamics_aggregates(windows, summary)
         digest.control = _control_aggregates(control_windows, summary)
         digest.causes = _cause_rates(ledgers, summary)
@@ -516,6 +530,19 @@ def compare_traces(
                 metric=f"spans:{name}",
                 a=float(a.spans.get(name, 0)),
                 b=float(b.spans.get(name, 0)),
+                gating=False,
+            )
+        )
+    # Fault digests are informational: a fault plan is part of the
+    # run's configuration, so differing schedules are expected when
+    # comparing faulted vs unfaulted twins — the gate should fire on
+    # the *consequences* (rates, dynamics), not the plan itself.
+    for name in sorted(set(a.faults) | set(b.faults)):
+        rows.append(
+            ComparisonRow(
+                metric=f"fault:{name}",
+                a=a.faults.get(name),
+                b=b.faults.get(name),
                 gating=False,
             )
         )

@@ -114,6 +114,9 @@ class TraceHealth:
     control: dict[int, list[dict]] = field(default_factory=dict)
     #: ``sim -> `` run-end ``attribution`` record (overhead ledger).
     attribution: dict[int, dict] = field(default_factory=dict)
+    #: ``sim -> list`` of ``fault_inject`` / ``fault_clear`` records,
+    #: in trace order (empty for unfaulted runs).
+    faults: dict[int, list[dict]] = field(default_factory=dict)
 
     def cache_hit_rate(self) -> float | None:
         """Task cache-hit rate, or ``None`` without cache events."""
@@ -240,6 +243,9 @@ def analyze_trace(path) -> TraceHealth:
             health.attribution[int(record.get("sim", 0))] = record
         elif event == "resource_sample":
             health.resources.append(record)
+        elif event in ("fault_inject", "fault_clear"):
+            sim = int(record.get("sim", 0))
+            health.faults.setdefault(sim, []).append(record)
         elif event in ("cache_hit", "cache_miss", "cache_write"):
             health.cache[event] = health.cache.get(event, 0) + 1
     for timeline in health.audits.values():
@@ -314,10 +320,61 @@ class HealthReport:
         lines.extend(self._render_attribution(trace))
         lines.extend(self._render_dynamics(trace))
         lines.extend(self._render_control(trace))
+        lines.extend(self._render_faults(trace))
         lines.extend(self._render_audits(trace))
         lines.extend(self._render_residuals(trace))
         lines.extend(self._render_resources(trace))
         lines.extend(self._render_cache(trace))
+        return lines
+
+    def _render_faults(self, trace: TraceHealth) -> list[str]:
+        """The "Fault injection" section (omitted for unfaulted runs)."""
+        if not trace.faults:
+            return []
+        lines = ["### Fault injection", ""]
+        for sim, records in sorted(trace.faults.items()):
+            counts: dict[tuple[str, str], int] = {}
+            loss_rate = None
+            for record in records:
+                kind = str(record.get("kind", "?"))
+                if kind == "loss":
+                    loss_rate = float(record.get("rate", 0.0))
+                    continue
+                verb = (
+                    "inject"
+                    if record.get("event") == "fault_inject"
+                    else "clear"
+                )
+                key = (kind, verb)
+                counts[key] = counts.get(key, 0) + 1
+            parts = []
+            for (kind, verb), count in sorted(counts.items()):
+                label = {
+                    ("crash", "inject"): "crashes",
+                    ("crash", "clear"): "recoveries",
+                    ("outage", "inject"): "outage entries",
+                    ("outage", "clear"): "outage exits",
+                }.get((kind, verb), f"{kind} {verb}s")
+                parts.append(f"{count} {label}")
+            if loss_rate is not None:
+                parts.append(f"Bernoulli loss rate {loss_rate:g}")
+            lines.append(f"- sim {sim}: " + ", ".join(parts))
+            rows = [
+                [
+                    record["t"],
+                    "inject"
+                    if record.get("event") == "fault_inject"
+                    else "clear",
+                    record.get("kind", "?"),
+                    record.get("node", "-"),
+                ]
+                for record in records
+                if record.get("kind") != "loss"
+            ]
+            if rows:
+                lines.append("")
+                lines.extend(_table(["t", "transition", "kind", "node"], rows))
+        lines.append("")
         return lines
 
     def _render_totals(self, summary: TraceSummary) -> list[str]:

@@ -80,10 +80,19 @@ Event vocabulary (``TRACE_EVENTS``):
     (``causes``), per-node and per-cluster tallies, the spatial
     heatmap, record-order category ``totals``, and the
     ``reconciled`` verdict against the run's ``MessageStats``.
+``fault_inject`` / ``fault_clear``
+    One fault transition from the run's :mod:`repro.faults` plan:
+    ``kind="crash"`` (node radio died, state wiped / recovered),
+    ``kind="outage"`` (node crossed a moving outage region's
+    boundary), or ``kind="loss"`` (Bernoulli link loss activated at
+    ``rate``, announced once at attach).  Crash/outage records carry
+    the affected ``node``; all records carry the innermost open
+    ``span`` when tracing spans.
 """
 
 from __future__ import annotations
 
+import atexit
 import json
 import threading
 from pathlib import Path
@@ -131,6 +140,8 @@ TRACE_EVENTS = frozenset(
         "control_window",
         "gateway_change",
         "attribution",
+        "fault_inject",
+        "fault_clear",
     }
 )
 
@@ -237,6 +248,16 @@ class JsonlTracer(Tracer):
         else:
             self._fh = Path(path).open("w", encoding="utf-8")
             self._owns_fh = True
+        # Abrupt-exit safety net: flush buffered records at interpreter
+        # shutdown (SIGINT included — KeyboardInterrupt unwinds into the
+        # normal exit path) so a Ctrl-C'd run leaves a parseable trace
+        # even when close() is never reached.  Unregistered on close.
+        atexit.register(self._flush_at_exit)
+
+    def _flush_at_exit(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
 
     # ------------------------------------------------------------------
     def emit(self, event: str, time: float, **fields) -> None:
@@ -264,6 +285,7 @@ class JsonlTracer(Tracer):
             self.emitted += 1
 
     def close(self) -> None:
+        atexit.unregister(self._flush_at_exit)
         if self._owns_fh and not self._fh.closed:
             self._fh.close()
         elif not self._owns_fh:

@@ -137,6 +137,12 @@ class ScenarioConfig:
     seed: int = 0
     flows: list = field(default_factory=list)
     messages: dict = field(default_factory=dict)
+    #: Optional fault-injection block (see
+    #: :func:`repro.faults.fault_config_from_dict`): crash/loss/outage
+    #: schedule plus graceful-degradation knobs.  The compiled plan is
+    #: a pure function of this block, the network size, the run horizon
+    #: and the seed.
+    faults: dict | None = None
 
     def __post_init__(self) -> None:
         if self.routing not in _ROUTING_STACKS:
@@ -158,6 +164,10 @@ class ScenarioConfig:
             from .sim.beacon import hello_from_config
 
             hello_from_config(self.beacon)
+        if self.faults is not None:
+            from .faults import fault_config_from_dict
+
+            fault_config_from_dict(self.faults)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioConfig":
@@ -252,6 +262,22 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
         params, mobility, boundary=Boundary(config.boundary), seed=config.seed
     )
 
+    fault_config = None
+    if config.faults is not None:
+        from .faults import attach_faults, build_plan, fault_config_from_dict
+
+        fault_config = fault_config_from_dict(config.faults)
+        plan = build_plan(
+            fault_config,
+            config.n_nodes,
+            horizon=config.warmup + config.duration,
+            seed=config.seed,
+        )
+        attach_faults(sim, plan)
+
+    miss_limit = (
+        fault_config.hello_miss_limit if fault_config is not None else None
+    )
     maintenance = None
     router_adapter = None
     needs_clustering = config.routing == "hybrid"
@@ -260,11 +286,24 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
         if config.beacon is not None:
             from .sim.beacon import hello_from_config
 
-            sim.attach(hello_from_config(config.beacon))
+            beacon_spec = dict(config.beacon)
+            if (
+                miss_limit is not None
+                and beacon_spec.get("mode", "event") != "event"
+                and "miss_limit" not in beacon_spec
+            ):
+                # The fault block's degradation knob, unless the beacon
+                # block pins its own.
+                beacon_spec["miss_limit"] = miss_limit
+            sim.attach(hello_from_config(beacon_spec))
         else:
             sim.attach(
                 HelloProtocol(
-                    hello_mode, interval=config.hello.get("interval", 1.0)
+                    hello_mode,
+                    interval=config.hello.get("interval", 1.0),
+                    miss_limit=(
+                        miss_limit if hello_mode != "event" else None
+                    ),
                 )
             )
     if needs_clustering or config.routing == "none":
@@ -282,7 +321,16 @@ def run_scenario(config: ScenarioConfig) -> ScenarioReport:
         dsdv = sim.attach(DsdvProtocol())
         router_adapter = DsdvRouterAdapter(dsdv)
     elif config.routing == "aodv":
-        aodv = sim.attach(AodvProtocol())
+        if fault_config is not None:
+            aodv = sim.attach(
+                AodvProtocol(
+                    max_retries=fault_config.route_retries,
+                    retry_backoff=fault_config.route_retry_backoff,
+                    retry_backoff_cap=fault_config.route_retry_cap,
+                )
+            )
+        else:
+            aodv = sim.attach(AodvProtocol())
         router_adapter = AodvRouterAdapter(aodv)
     else:  # "none": clustering only
         sim.attach(maintenance)

@@ -36,6 +36,7 @@ from ..control.signals import ControlSignals
 from ..obs import context as obs_context
 from ..obs.attribution import (
     CAUSE_EVENT_HELLO,
+    CAUSE_LOSS_RETRANSMIT,
     CAUSE_PERIODIC_HELLO,
     attributed,
 )
@@ -74,6 +75,17 @@ class HelloProtocol(Protocol):
     signal_window, signal_alpha:
         Adaptive mode only: window length and EWMA weight of the
         :class:`~repro.control.signals.ControlSignals` tap.
+    miss_limit:
+        Loss-tolerance knob (periodic/adaptive modes): a neighbor is
+        evicted after this many *consecutive missed beacons* instead of
+        on the first silent timeout.  When set, the default timeout
+        stretches to ``(miss_limit + 0.5) * interval`` so the count —
+        not a single quiet period — governs loss-driven eviction, while
+        the stretched soft timer still reclaims neighbors that moved
+        away (no beacons arrive, so no misses are counted).  ``None``
+        (the default) keeps the stock single-timeout behavior.  Beacons
+        are only ever *missed* when a :mod:`repro.faults` plan with a
+        nonzero ``loss_rate`` is attached.
     """
 
     name = "hello"
@@ -86,6 +98,7 @@ class HelloProtocol(Protocol):
         policy: BeaconPolicy | dict | None = None,
         signal_window: float = 1.0,
         signal_alpha: float = 0.5,
+        miss_limit: int | None = None,
     ) -> None:
         if mode not in ("event", "periodic", "adaptive"):
             raise ValueError(
@@ -106,8 +119,24 @@ class HelloProtocol(Protocol):
             interval = self.policy.initial_interval()
         if interval <= 0.0:
             raise ValueError(f"interval must be positive, got {interval}")
+        if miss_limit is not None:
+            if mode == "event":
+                raise ValueError(
+                    "miss_limit applies to beacon modes 'periodic' and "
+                    "'adaptive' only; event mode compensates loss with "
+                    "announce retransmissions instead"
+                )
+            if miss_limit < 1:
+                raise ValueError(f"miss_limit must be >= 1, got {miss_limit}")
+        self.miss_limit = miss_limit
         self.interval = interval
-        self.timeout = 2.5 * interval if timeout is None else timeout
+        if timeout is None:
+            timeout = (
+                (miss_limit + 0.5) * interval
+                if miss_limit is not None
+                else 2.5 * interval
+            )
+        self.timeout = timeout
         if self.timeout <= self.interval:
             raise ValueError(
                 f"timeout ({self.timeout}) must be greater than the beacon "
@@ -119,6 +148,11 @@ class HelloProtocol(Protocol):
         self.signal_alpha = signal_alpha
         self.neighbor_lists: list[dict[int, float]] = []
         self._next_beacon: np.ndarray | None = None
+        # Loss degradation state: per-receiver consecutive-miss counts
+        # (miss_limit modes) and the event-mode announce-retry queue of
+        # ``(sender, learner, attempts)`` entries.
+        self._miss_counts: list[dict[int, int]] = []
+        self._pending_retx: list[tuple[int, int, int]] = []
         # Adaptive-mode state (see on_attach).
         self.signals: ControlSignals | None = None
         self._advertised_timeout: np.ndarray | None = None
@@ -139,6 +173,8 @@ class HelloProtocol(Protocol):
         self.neighbor_lists = [
             {int(v): 0.0 for v in sim.neighbors_of(u)} for u in range(n)
         ]
+        if self.miss_limit is not None:
+            self._miss_counts = [{} for _ in range(n)]
         if self.mode in ("periodic", "adaptive"):
             phases = sim.rng.uniform(0.0, self.interval, size=n)
             self._next_beacon = phases
@@ -174,9 +210,29 @@ class HelloProtocol(Protocol):
     def _send_hello(self, sim: Simulation, node: int, time: float) -> None:
         with attributed(sim, self._beacon_cause, node=node):
             sim.stats.record("hello", 1, sim.params.messages.p_hello)
-        # Every current neighbor of `node` hears the beacon.
+        # Every current neighbor of `node` hears the beacon — unless a
+        # fault plan's Bernoulli loss eats that reception.  Neighbors
+        # iterate in ascending id order, so loss draws are deterministic.
+        faults = sim.faults
+        lossy = faults is not None and faults.loss_rate > 0.0
+        miss_counts = self._miss_counts if self.miss_limit is not None else None
         for neighbor in sim.neighbors_of(node):
-            self.neighbor_lists[int(neighbor)][node] = time
+            neighbor = int(neighbor)
+            if lossy and faults.drop():
+                faults.count("hello_losses_total")
+                if miss_counts is not None:
+                    misses = miss_counts[neighbor]
+                    misses[node] = misses.get(node, 0) + 1
+                    if misses[node] >= self.miss_limit:
+                        # Count-based eviction: the tolerance budget is
+                        # spent; forget the neighbor and reset the count
+                        # so a re-heard beacon starts a fresh budget.
+                        self.neighbor_lists[neighbor].pop(node, None)
+                        del misses[node]
+                continue
+            if miss_counts is not None:
+                miss_counts[neighbor].pop(node, None)
+            self.neighbor_lists[neighbor][node] = time
         # The beaconing node refreshes nothing about itself; its own
         # neighbor list is refreshed by the beacons it receives.
 
@@ -189,8 +245,46 @@ class HelloProtocol(Protocol):
         # Both endpoints announce themselves; each learns the other.
         with attributed(sim, CAUSE_EVENT_HELLO, nodes=(u, v)):
             sim.stats.record("hello", 2, 2 * sim.params.messages.p_hello)
+        faults = sim.faults
+        if faults is not None and faults.loss_rate > 0.0:
+            # Each direction's announce is its own reception; a lost one
+            # is retransmitted from on_step_begin until it lands or the
+            # link is gone (the sender keeps announcing while unheard).
+            for sender, learner in ((u, v), (v, u)):
+                if faults.drop():
+                    faults.count("hello_losses_total")
+                    self._pending_retx.append((sender, learner, 0))
+                else:
+                    self.neighbor_lists[learner][sender] = time
+            return
         self.neighbor_lists[u][v] = time
         self.neighbor_lists[v][u] = time
+
+    def on_step_begin(self, sim: Simulation, time: float) -> None:
+        if self.mode != "event" or not self._pending_retx:
+            return
+        faults = sim.faults
+        pending = self._pending_retx
+        self._pending_retx = []
+        for sender, learner, attempts in pending:
+            if (
+                not sim.adjacency[sender, learner]
+                or sender in self.neighbor_lists[learner]
+            ):
+                # Link vanished, or a later announce already landed.
+                continue
+            with attributed(sim, CAUSE_LOSS_RETRANSMIT, node=sender):
+                sim.stats.record("hello", 1, sim.params.messages.p_hello)
+            faults.count("hello_retransmits_total")
+            if faults.drop():
+                faults.count("hello_losses_total")
+                if attempts + 1 < self._RETX_CAP:
+                    self._pending_retx.append((sender, learner, attempts + 1))
+            else:
+                self.neighbor_lists[learner][sender] = time
+
+    #: Event-mode announce-retransmission budget per lost link-up.
+    _RETX_CAP = 8
 
     def on_link_down(self, sim: Simulation, u: int, v: int, time: float) -> None:
         if self.mode != "event":
@@ -198,15 +292,46 @@ class HelloProtocol(Protocol):
         # Soft-timer detection: free, immediate in the lower-bound model.
         self.neighbor_lists[u].pop(v, None)
         self.neighbor_lists[v].pop(u, None)
+        if self._pending_retx:
+            self._pending_retx = [
+                entry
+                for entry in self._pending_retx
+                if {entry[0], entry[1]} != {u, v}
+            ]
+
+    # ------------------------------------------------------------------
+    # Crash handling (fault plans)
+    # ------------------------------------------------------------------
+    def on_node_fail(self, sim: Simulation, node: int, time: float) -> None:
+        # State wipe: the crashed node forgets every neighbor it knew.
+        # Its former neighbors still hold entries for it; those expire
+        # through the ordinary paths (link_down in event mode, the soft
+        # timer otherwise) once the engine drops the node's links.
+        self.neighbor_lists[node].clear()
+        if self._miss_counts:
+            self._miss_counts[node].clear()
+        if self._pending_retx:
+            self._pending_retx = [
+                entry
+                for entry in self._pending_retx
+                if node not in (entry[0], entry[1])
+            ]
 
     # ------------------------------------------------------------------
     # Periodic and adaptive modes
     # ------------------------------------------------------------------
     def on_step_end(self, sim: Simulation, time: float) -> None:
         if self.mode == "periodic":
+            silenced = sim.faults is not None
             due = np.flatnonzero(self._next_beacon <= time)
             for node in due:
-                self._send_hello(sim, int(node), time)
+                node = int(node)
+                if silenced and not sim.active[node]:
+                    # A crashed/outaged radio keeps its beacon cadence
+                    # but transmits nothing while silenced.
+                    self._next_beacon[node] += self.interval
+                    continue
+                self._send_hello(sim, node, time)
                 self._next_beacon[node] += self.interval
             # Soft-timer expiry.
             for node in range(sim.n_nodes):
@@ -225,9 +350,15 @@ class HelloProtocol(Protocol):
         policy = self.policy
         signals = self.signals
         adaptive = policy.adaptive
+        silenced = sim.faults is not None
         due = np.flatnonzero(self._next_beacon <= time)
         for node in due:
             node = int(node)
+            if silenced and not sim.active[node]:
+                self._next_beacon[node] += float(
+                    policy.next_interval(node, signals)
+                )
+                continue
             self._send_hello(sim, node, time)
             interval = float(policy.next_interval(node, signals))
             self._next_beacon[node] += interval
@@ -335,7 +466,15 @@ class HelloProtocol(Protocol):
 
 
 #: Valid keys of a scenario/CLI ``beacon`` block.
-BEACON_CONFIG_KEYS = ("mode", "interval", "timeout", "policy", "window", "alpha")
+BEACON_CONFIG_KEYS = (
+    "mode",
+    "interval",
+    "timeout",
+    "policy",
+    "window",
+    "alpha",
+    "miss_limit",
+)
 
 
 def hello_from_config(spec: dict) -> HelloProtocol:
@@ -384,6 +523,7 @@ def hello_from_config(spec: dict) -> HelloProtocol:
             policy=build_policy(policy_spec),
             signal_window=data.get("window", 1.0),
             signal_alpha=data.get("alpha", 0.5),
+            miss_limit=data.get("miss_limit"),
         )
     if policy_spec is not None:
         raise ValueError(
@@ -398,4 +538,5 @@ def hello_from_config(spec: dict) -> HelloProtocol:
         mode,
         interval=data.get("interval", 1.0),
         timeout=data.get("timeout"),
+        miss_limit=data.get("miss_limit"),
     )

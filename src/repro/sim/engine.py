@@ -116,6 +116,19 @@ class Protocol:
     def on_step_end(self, sim: "Simulation", time: float) -> None:
         """Called after all link events of the step were delivered."""
 
+    def on_node_fail(self, sim: "Simulation", node: int, time: float) -> None:
+        """``node`` crashed: wipe any state the protocol keeps *at* it.
+
+        Fired by the engine's fault phase (see :mod:`repro.faults`)
+        before the step's link events are delivered.  The crash also
+        breaks all the node's links, so handlers at *other* nodes react
+        through their ordinary ``on_link_down`` path; this hook only
+        models the loss of the crashed node's own memory.
+        """
+
+    def on_node_recover(self, sim: "Simulation", node: int, time: float) -> None:
+        """``node``'s radio came back (with the state wiped at crash)."""
+
     def on_run_end(self, sim: "Simulation", time: float) -> None:
         """Called once when a measurement run finishes.
 
@@ -205,6 +218,11 @@ class Simulation:
         #: :func:`repro.obs.attribution.attach_attribution`; ``None``
         #: (the default) makes every ``attributed(...)`` scope a no-op.
         self.attribution = None
+        #: Fault injector, set by :func:`repro.faults.attach_faults`;
+        #: ``None`` (the default) skips the fault phase entirely, so an
+        #: un-faulted run is byte-identical to one on a kernel without
+        #: fault support.
+        self.faults = None
         #: Hierarchical causal span stack (run → phase → step →
         #: handler) writing to the same tracer; see repro.obs.spans.
         self.spans = SpanTracker(self.tracer, self.sim_id)
@@ -490,6 +508,25 @@ class Simulation:
         alive = self.active[edges[:, 0]] & self.active[edges[:, 1]]
         return edges[alive]
 
+    def notify_node_fail(self, node: int) -> None:
+        """Deliver ``on_node_fail`` (state wipe) to every protocol.
+
+        Protocols are duck-typed (see :meth:`attach`), so hooks are
+        looked up with ``getattr`` — an attached object predating the
+        fault hooks simply does not hear about crashes.
+        """
+        for protocol in self._protocols:
+            hook = getattr(protocol, "on_node_fail", None)
+            if hook is not None:
+                hook(self, node, self.time)
+
+    def notify_node_recover(self, node: int) -> None:
+        """Deliver ``on_node_recover`` to every protocol."""
+        for protocol in self._protocols:
+            hook = getattr(protocol, "on_node_recover", None)
+            if hook is not None:
+                hook(self, node, self.time)
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -499,6 +536,17 @@ class Simulation:
         t0 = perf_counter()
         positions = self.mobility.advance(self.dt)
         t1 = perf_counter()
+        timer.add("mobility", t1 - t0)
+        if self.faults is not None:
+            # Fault phase: apply scheduled crash/recover events and
+            # outage-region membership *before* connectivity is
+            # recomputed, so the new radio mask shapes this step's edge
+            # set and the resulting link events.  Transitions fire at
+            # the post-step clock, matching the link events they cause.
+            self.faults.advance(self, self.time + self.dt, positions)
+            t1b = perf_counter()
+            timer.add("faults", t1b - t1)
+            t1 = t1b
         all_active = bool(self.active.all())
         if self._incremental is not None:
             result = self._incremental.step(positions)
@@ -538,7 +586,6 @@ class Simulation:
             events = diff_edge_sets(self.edges, new_edges)
             t3 = perf_counter()
             timer.add("adjacency", t2 - t1)
-        timer.add("mobility", t1 - t0)
         timer.add("link_diff", t3 - t2)
         self._prev_all_active = all_active
         self.edges = new_edges

@@ -41,6 +41,7 @@ class TestRegistry:
             "stability",
             "dhop",
             "adaptive-beaconing",
+            "chaos-overhead",
             "ablation-conventions",
             "ablation-route-payload",
             "ablation-boundary",
